@@ -1,0 +1,74 @@
+// Command graspbench regenerates the paper-shaped experiment tables
+// (E1–E16 in DESIGN.md). It is the source of EXPERIMENTS.md: every table
+// printed here corresponds to one exhibit of the paper's evaluation, and
+// each experiment carries shape checks that are verified after the run.
+//
+// Usage:
+//
+//	graspbench                 run every experiment
+//	graspbench -experiment E3  run one experiment
+//	graspbench -seed 7         change the stochastic seed
+//	graspbench -list           list experiment IDs and titles
+//
+// The process exits non-zero if any shape check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grasp/internal/experiments"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment ID to run (default: all)")
+		seed  = flag.Int64("seed", 42, "seed for stochastic inputs")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quiet = flag.Bool("quiet", false, "print only check failures")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if *expID != "" {
+		r, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graspbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	failures := 0
+	for _, r := range runners {
+		res := r.Run(*seed)
+		if !*quiet {
+			fmt.Print(res.Table.String())
+		}
+		for _, c := range res.Checks {
+			status := "ok"
+			if !c.Pass {
+				status = "FAIL"
+				failures++
+			}
+			if !c.Pass || !*quiet {
+				fmt.Printf("  [%s] %s: %s — %s\n", status, res.ID, c.Name, c.Detail)
+			}
+		}
+		if !*quiet {
+			fmt.Println()
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "graspbench: %d shape check(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+// Package grasp is a Go reproduction of "Adaptive structured parallelism
+// for computational grids" (González-Vélez & Cole, PPoPP 2007): the GRASP
+// methodology for self-adaptive algorithmic-skeleton programs on
+// non-dedicated heterogeneous platforms.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable examples under examples/, and the experiment
+// CLIs under cmd/. The root-level bench_test.go regenerates every
+// experiment table as a testing.B benchmark.
+package grasp

@@ -1,0 +1,61 @@
+// Quickstart: the task-farm skeleton on the local (goroutine) runtime.
+//
+// The program integrates f(x) = 4/(1+x²) over [0,1] — which equals π — by
+// farming sub-interval integrations across local workers. It shows the
+// minimal GRASP workflow a library user follows: build a platform, describe
+// tasks, run the skeleton, consume results.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/farm"
+	"grasp/internal/workload"
+)
+
+func main() {
+	const (
+		pieces   = 64     // tasks: sub-intervals of [0,1]
+		stepsPer = 200000 // trapezoids per sub-interval
+	)
+	// 1. Platform: the local runtime with one worker per CPU.
+	local := rt.NewLocal()
+	pf := platform.NewLocalPlatform(local, runtime.NumCPU())
+
+	// 2. Tasks: each closure integrates one sub-interval for real.
+	f := func(x float64) float64 { return 4 / (1 + x*x) }
+	tasks := make([]platform.Task, pieces)
+	for i := range tasks {
+		a := float64(i) / pieces
+		b := float64(i+1) / pieces
+		tasks[i] = platform.Task{
+			ID: i,
+			Fn: func() any { return workload.Integrate(f, a, b, stepsPer) },
+		}
+	}
+
+	// 3. Run the farm from a root process and sum the partial integrals.
+	var rep farm.Report
+	local.Go("main", func(c rt.Ctx) {
+		rep = farm.Run(pf, c, tasks, farm.Options{})
+	})
+	if err := local.Run(); err != nil {
+		panic(err)
+	}
+
+	var pi float64
+	for _, r := range rep.Results {
+		pi += r.Value.(float64)
+	}
+	fmt.Printf("π ≈ %.10f  (%d tasks on %d workers in %v)\n",
+		pi, len(rep.Results), pf.Size(), rep.Makespan.Round(1000))
+	for w := 0; w < pf.Size(); w++ {
+		fmt.Printf("  %s: %d tasks, busy %v\n",
+			pf.WorkerName(w), rep.TasksByWorker[w], rep.BusyByWorker[w].Round(1000))
+	}
+}

@@ -1,0 +1,145 @@
+// Wordcount: the map-reduce composition on the local (goroutine) runtime.
+//
+// A synthetic corpus is split into shards; the map phase counts words per
+// shard on the farm of local workers, each worker folds its shard counts
+// into a running partial, and the reduction skeleton merges the per-worker
+// partials with a calibrated tree plan. This is core.RunMapReduce — the
+// GRASP methodology steering two nested skeletons from one calibration.
+//
+// Run with: go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+
+	"grasp/internal/core"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+)
+
+// vocabulary for the synthetic corpus, Zipf-ish by repetition.
+var vocabulary = []string{
+	"grid", "grid", "grid", "grid",
+	"skeleton", "skeleton", "skeleton",
+	"farm", "farm", "pipeline", "pipeline",
+	"calibration", "threshold", "adaptive", "node", "node",
+	"task", "task", "task", "latency", "bandwidth",
+}
+
+func makeShard(rng *rand.Rand, words int) string {
+	var b strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(vocabulary[rng.Intn(len(vocabulary))])
+	}
+	return b.String()
+}
+
+func countWords(shard string) map[string]int {
+	counts := make(map[string]int)
+	for _, w := range strings.Fields(shard) {
+		counts[w]++
+	}
+	return counts
+}
+
+func mergeCounts(acc, v any) any {
+	a := acc.(map[string]int)
+	for w, n := range v.(map[string]int) {
+		a[w] += n
+	}
+	return a
+}
+
+func main() {
+	const (
+		shards        = 64
+		wordsPerShard = 5000
+	)
+	rng := rand.New(rand.NewSource(1))
+
+	// 1. Platform: local runtime, one worker per CPU.
+	local := rt.NewLocal()
+	pf := platform.NewLocalPlatform(local, runtime.NumCPU())
+
+	// 2. Tasks: each closure counts one shard for real.
+	total := 0
+	tasks := make([]platform.Task, shards)
+	for i := range tasks {
+		shard := makeShard(rng, wordsPerShard)
+		total += wordsPerShard
+		tasks[i] = platform.Task{
+			ID: i,
+			Fn: func() any { return countWords(shard) },
+		}
+	}
+
+	// 3. Map-reduce: fold shard counts into per-worker partials, then
+	// reduce the partials. Identity must be a fresh map per worker, so we
+	// seed with nil and allocate lazily in the fold.
+	fold := func(acc, v any) any {
+		if acc == nil {
+			acc = make(map[string]int)
+		}
+		return mergeCounts(acc, v)
+	}
+	combine := func(acc, v any) any {
+		if acc == nil {
+			return v
+		}
+		if v == nil {
+			return acc
+		}
+		return mergeCounts(acc, v)
+	}
+
+	var rep core.MapReduceReport
+	var err error
+	local.Go("main", func(c rt.Ctx) {
+		rep, err = core.RunMapReduce(pf, c, tasks, core.MapReduceConfig{
+			Fold:    fold,
+			Combine: combine,
+		})
+	})
+	if e := local.Run(); e != nil {
+		panic(e)
+	}
+	if err != nil {
+		panic(err)
+	}
+
+	counts := rep.Value.(map[string]int)
+	words := make([]string, 0, len(counts))
+	sum := 0
+	for w, n := range counts {
+		words = append(words, w)
+		sum += n
+	}
+	sort.Slice(words, func(a, b int) bool {
+		if counts[words[a]] != counts[words[b]] {
+			return counts[words[a]] > counts[words[b]]
+		}
+		return words[a] < words[b]
+	})
+
+	fmt.Printf("counted %d words across %d shards on %d workers in %v\n",
+		sum, shards, pf.Size(), rep.Makespan.Round(1000))
+	fmt.Printf("reduction: %d combines over %d rounds (shape %v)\n",
+		rep.Reduce.Steps, rep.Reduce.Rounds, "calibrated tree")
+	fmt.Println("top words:")
+	for i, w := range words {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %-12s %7d\n", w, counts[w])
+	}
+	if sum != total {
+		panic(fmt.Sprintf("lost words: counted %d of %d", sum, total))
+	}
+}

@@ -1,0 +1,36 @@
+package calibrate_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/calibrate"
+)
+
+// ExampleRank ranks three nodes from calibration samples: the univariate
+// strategy regresses time on observed load, so the heavily loaded node 2
+// is forgiven its slow probe and ranked by its load-adjusted time.
+func ExampleRank() {
+	samples := []calibrate.Sample{
+		{Worker: 0, Time: 1000 * time.Millisecond, Load: 0.0},
+		{Worker: 1, Time: 1500 * time.Millisecond, Load: 0.1},
+		{Worker: 2, Time: 4000 * time.Millisecond, Load: 0.8},
+	}
+	raw := calibrate.Rank(samples, calibrate.TimeOnly)
+	adjusted := calibrate.Rank(samples, calibrate.Univariate)
+	fmt.Println("raw order:     ", raw.Order)
+	fmt.Println("adjusted order:", adjusted.Order)
+	// Output:
+	// raw order:      [0 1 2]
+	// adjusted order: [0 2 1]
+}
+
+// ExampleRanking_Weights converts scores into dispatch weights
+// proportional to predicted speed.
+func ExampleRanking_Weights() {
+	r := calibrate.Ranking{Score: map[int]float64{0: 1.0, 1: 2.0}}
+	w := r.Weights([]int{0, 1})
+	fmt.Printf("%.2f %.2f\n", w[0], w[1])
+	// Output:
+	// 0.67 0.33
+}

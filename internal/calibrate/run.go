@@ -1,0 +1,142 @@
+package calibrate
+
+import (
+	"fmt"
+
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+)
+
+// Options configures a calibration run.
+type Options struct {
+	Strategy Strategy
+	// Probes are the sample tasks ("a sample of the data"); probe i%len is
+	// executed on worker i. Must be non-empty.
+	Probes []platform.Task
+	// Workers optionally restricts calibration to a subset (default: all).
+	Workers []int
+	// Log receives calibrate events (may be nil).
+	Log *trace.Log
+}
+
+// Outcome is the result of running Algorithm 1.
+type Outcome struct {
+	Ranking Ranking
+	// Results are the completed probe executions: calibration work
+	// contributes to the overall job, per the paper.
+	Results []platform.Result
+	// FailedWorkers are nodes whose probe was lost to a crash; they are
+	// excluded from the ranking (a dead node cannot be Chosen).
+	FailedWorkers []int
+	// FailedProbes are the probe tasks lost on those nodes; callers that
+	// count calibration work toward the job must re-execute them.
+	FailedProbes []platform.Task
+}
+
+// Run executes Algorithm 1 on the platform from within process c: the probe
+// tasks run over all workers concurrently, per-node times and resource
+// readings are collected at the caller (the root node), and the ranking is
+// computed with the configured strategy.
+func Run(pf platform.Platform, c rt.Ctx, opts Options) (Outcome, error) {
+	if len(opts.Probes) == 0 {
+		return Outcome{}, fmt.Errorf("calibrate: no probe tasks")
+	}
+	workers := opts.Workers
+	if len(workers) == 0 {
+		workers = make([]int, pf.Size())
+		for i := range workers {
+			workers[i] = i
+		}
+	}
+	for _, w := range workers {
+		if w < 0 || w >= pf.Size() {
+			return Outcome{}, fmt.Errorf("calibrate: worker %d out of range [0,%d)", w, pf.Size())
+		}
+	}
+
+	if opts.Log != nil {
+		opts.Log.Append(trace.Event{At: c.Now(), Kind: trace.KindPhaseStart, Msg: "calibration"})
+	}
+
+	type obs struct {
+		sample Sample
+		result platform.Result
+	}
+	results := pf.Runtime().NewChan("calibrate.results", len(workers))
+
+	// "Execute F over P nodes concurrently": one prober per worker.
+	for idx, w := range workers {
+		w := w
+		probe := opts.Probes[idx%len(opts.Probes)]
+		c.Go(fmt.Sprintf("calibrate.%s", pf.WorkerName(w)), func(cc rt.Ctx) {
+			loadS := pf.LoadSensor(w)
+			bwS := pf.BandwidthSensor(w)
+			// Read resource conditions bracketing the sample and average,
+			// approximating "collect processor and bandwidth values".
+			l0, b0 := loadS.Read(), bwS.Read()
+			res := pf.Exec(cc, w, probe)
+			l1, b1 := loadS.Read(), bwS.Read()
+			results.Send(cc, obs{
+				sample: Sample{
+					Worker: w, Time: res.Time,
+					Load: (l0 + l1) / 2, BW: (b0 + b1) / 2,
+					ProbeCost: probe.Cost,
+				},
+				result: res,
+			})
+		})
+	}
+
+	// Root collects t from P nodes into T.
+	out := Outcome{}
+	samples := make([]Sample, 0, len(workers))
+	for range workers {
+		v, ok := results.Recv(c)
+		if !ok {
+			return Outcome{}, fmt.Errorf("calibrate: result channel closed early")
+		}
+		o := v.(obs)
+		if o.result.Failed() {
+			out.FailedWorkers = append(out.FailedWorkers, o.sample.Worker)
+			out.FailedProbes = append(out.FailedProbes, o.result.Task)
+			if opts.Log != nil {
+				opts.Log.Append(trace.Event{
+					At:   c.Now(),
+					Kind: trace.KindNote,
+					Node: pf.WorkerName(o.sample.Worker),
+					Msg:  "calibration probe lost: node failed",
+				})
+			}
+			continue
+		}
+		samples = append(samples, o.sample)
+		out.Results = append(out.Results, o.result)
+		if opts.Log != nil {
+			opts.Log.Append(trace.Event{
+				At:   c.Now(),
+				Kind: trace.KindCalibrate,
+				Node: pf.WorkerName(o.sample.Worker),
+				Dur:  o.sample.Time,
+			})
+		}
+	}
+	// Stable order regardless of completion interleaving.
+	sortSamplesByWorker(samples)
+
+	out.Ranking = Rank(samples, opts.Strategy)
+	if opts.Log != nil {
+		opts.Log.Append(trace.Event{At: c.Now(), Kind: trace.KindPhaseEnd, Msg: "calibration"})
+	}
+	return out, nil
+}
+
+// sortSamplesByWorker orders samples by worker index (insertion sort; P is
+// small).
+func sortSamplesByWorker(samples []Sample) {
+	for i := 1; i < len(samples); i++ {
+		for j := i; j > 0 && samples[j-1].Worker > samples[j].Worker; j-- {
+			samples[j-1], samples[j] = samples[j], samples[j-1]
+		}
+	}
+}

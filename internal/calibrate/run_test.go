@@ -1,0 +1,202 @@
+package calibrate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+	"grasp/internal/vsim"
+)
+
+func gridPF(t *testing.T, specs []grid.NodeSpec, noise float64) (*platform.GridPlatform, *rt.Sim) {
+	t.Helper()
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	g, err := grid.New(env, grid.Config{Nodes: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.NewGridPlatform(sim, g, noise, 7), sim
+}
+
+func TestRunRanksBySpeed(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 50}, {BaseSpeed: 200}, {BaseSpeed: 100},
+	}, 0)
+	var out Outcome
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		out, err = Run(pf, c, Options{
+			Strategy: TimeOnly,
+			Probes:   []platform.Task{{ID: -1, Cost: 100}},
+		})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out.Ranking.Order) != "[1 2 0]" {
+		t.Errorf("Order = %v", out.Ranking.Order)
+	}
+	if len(out.Results) != 3 {
+		t.Errorf("calibration should return its probe results (job contribution), got %d", len(out.Results))
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	// P identical nodes, each probe takes 2s; a concurrent calibration
+	// finishes at ~2s, not P×2s.
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 50}, {BaseSpeed: 50}, {BaseSpeed: 50}, {BaseSpeed: 50},
+	}, 0)
+	sim.Go("root", func(c rt.Ctx) {
+		if _, err := Run(pf, c, Options{Strategy: TimeOnly, Probes: []platform.Task{{Cost: 100}}}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Now() > 3*time.Second {
+		t.Errorf("calibration took %v; not concurrent", sim.Now())
+	}
+}
+
+func TestRunCollectsSensors(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 100, Load: loadgen.NewConstant(0.5)},
+		{BaseSpeed: 100},
+	}, 0)
+	var out Outcome
+	sim.Go("root", func(c rt.Ctx) {
+		out, _ = Run(pf, c, Options{Strategy: TimeOnly, Probes: []platform.Task{{Cost: 10}}})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ranking.Samples[0].Load != 0.5 {
+		t.Errorf("sample 0 load = %v, want 0.5", out.Ranking.Samples[0].Load)
+	}
+	if out.Ranking.Samples[1].Load != 0 {
+		t.Errorf("sample 1 load = %v, want 0", out.Ranking.Samples[1].Load)
+	}
+}
+
+func TestRunWorkerSubset(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10}, {BaseSpeed: 20}, {BaseSpeed: 30},
+	}, 0)
+	var out Outcome
+	sim.Go("root", func(c rt.Ctx) {
+		out, _ = Run(pf, c, Options{
+			Strategy: TimeOnly,
+			Probes:   []platform.Task{{Cost: 10}},
+			Workers:  []int{0, 2},
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out.Ranking.Order) != "[2 0]" {
+		t.Errorf("Order = %v", out.Ranking.Order)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 1}}, 0)
+	var errNoProbe, errBadWorker error
+	sim.Go("root", func(c rt.Ctx) {
+		_, errNoProbe = Run(pf, c, Options{Strategy: TimeOnly})
+		_, errBadWorker = Run(pf, c, Options{
+			Strategy: TimeOnly,
+			Probes:   []platform.Task{{Cost: 1}},
+			Workers:  []int{5},
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errNoProbe == nil {
+		t.Error("missing probes should error")
+	}
+	if errBadWorker == nil {
+		t.Error("out-of-range worker should error")
+	}
+}
+
+func TestRunEmitsTrace(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 20}}, 0)
+	log := trace.New()
+	sim.Go("root", func(c rt.Ctx) {
+		_, _ = Run(pf, c, Options{Strategy: TimeOnly, Probes: []platform.Task{{Cost: 1}}, Log: log})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := log.CountByKind()
+	if counts[trace.KindCalibrate] != 2 {
+		t.Errorf("calibrate events = %d", counts[trace.KindCalibrate])
+	}
+	if counts[trace.KindPhaseStart] != 1 || counts[trace.KindPhaseEnd] != 1 {
+		t.Errorf("phase events missing: %v", counts)
+	}
+	spans := log.Phases()
+	if len(spans) != 1 || spans[0].Name != "calibration" || spans[0].End < 0 {
+		t.Errorf("phase span = %v", spans)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() string {
+		pf, sim := gridPF(t, grid.HeterogeneousSpecs(3, 8, 100, 0.6), 0.05)
+		var out Outcome
+		sim.Go("root", func(c rt.Ctx) {
+			out, _ = Run(pf, c, Options{Strategy: Multivariate, Probes: []platform.Task{{Cost: 50}}})
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(out.Ranking.Order, out.Ranking.Score)
+	}
+	if run() != run() {
+		t.Error("calibration not deterministic")
+	}
+}
+
+func TestRunStatisticalOnGrid(t *testing.T) {
+	// Node 0 is intrinsically fastest but heavily loaded during calibration;
+	// statistical calibration should rank it above what raw times suggest.
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 300, Load: loadgen.NewConstant(0.8)}, // eff 60 during calib
+		{BaseSpeed: 100},
+		{BaseSpeed: 110},
+		{BaseSpeed: 90},
+		{BaseSpeed: 80, Load: loadgen.NewConstant(0.2)},
+	}
+	rank := func(strat Strategy) []int {
+		pf, sim := gridPF(t, specs, 0)
+		var out Outcome
+		sim.Go("root", func(c rt.Ctx) {
+			out, _ = Run(pf, c, Options{Strategy: strat, Probes: []platform.Task{{Cost: 100}}})
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out.Ranking.Order
+	}
+	raw := rank(TimeOnly)
+	scaled := rank(LoadScaled)
+	if raw[0] == 0 {
+		t.Fatalf("premise broken: raw rank = %v", raw)
+	}
+	if scaled[0] != 0 {
+		t.Errorf("load-scaled rank = %v, want node 0 first", scaled)
+	}
+}

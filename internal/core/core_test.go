@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"grasp/internal/calibrate"
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+	"grasp/internal/skel/pipeline"
+	"grasp/internal/trace"
+	"grasp/internal/vsim"
+)
+
+func gridPF(t *testing.T, specs []grid.NodeSpec) (*platform.GridPlatform, *rt.Sim) {
+	t.Helper()
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	g, err := grid.New(env, grid.Config{Nodes: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.NewGridPlatform(sim, g, 0, 1), sim
+}
+
+func fixedTasks(n int, cost float64) []platform.Task {
+	tasks := make([]platform.Task, n)
+	for i := range tasks {
+		tasks[i] = platform.Task{ID: i, Cost: cost}
+	}
+	return tasks
+}
+
+func evenSpeeds(n int, speed float64) []grid.NodeSpec {
+	specs := make([]grid.NodeSpec, n)
+	for i := range specs {
+		specs[i] = grid.NodeSpec{BaseSpeed: speed}
+	}
+	return specs
+}
+
+func TestRunFarmCompletesEverything(t *testing.T) {
+	pf, sim := gridPF(t, evenSpeeds(4, 10))
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, fixedTasks(40, 1), Config{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 40 {
+		t.Errorf("results = %d, want 40 (calibration samples must count)", len(rep.Results))
+	}
+	if rep.CalibrationTasks != 4 {
+		t.Errorf("calibration tasks = %d, want 4", rep.CalibrationTasks)
+	}
+	// No task lost or duplicated.
+	seen := make(map[int]int)
+	for _, r := range rep.Results {
+		seen[r.Task.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d executed %d times", id, n)
+		}
+	}
+	if rep.Recalibrations != 0 {
+		t.Errorf("steady grid should not recalibrate: %d", rep.Recalibrations)
+	}
+}
+
+func TestRunFarmRecalibratesUnderPressure(t *testing.T) {
+	// All chosen nodes collapse at t=2s; the farm must breach, feed back to
+	// calibration, and finish on the still-fast nodes.
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 20, Load: loadgen.NewStep(2*time.Second, 0, 0.95)},
+		{BaseSpeed: 20, Load: loadgen.NewStep(2*time.Second, 0, 0.95)},
+		{BaseSpeed: 10},
+		{BaseSpeed: 10},
+	}
+	pf, sim := gridPF(t, specs)
+	log := trace.New()
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, fixedTasks(200, 1), Config{
+			SelectK:         2, // initially picks the two fast (soon loaded) nodes
+			ThresholdFactor: 3,
+			Log:             log,
+		})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recalibrations == 0 {
+		t.Fatal("expected at least one recalibration")
+	}
+	if len(rep.Results) != 200 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+	// After recalibration the chosen set must avoid the collapsed nodes.
+	last := rep.Rounds[len(rep.Rounds)-1]
+	for _, w := range last.Chosen {
+		if w == 0 || w == 1 {
+			t.Errorf("final chosen set still contains collapsed node %d: %v", w, last.Chosen)
+		}
+	}
+	if len(log.Filter(trace.KindRecalibrate)) != rep.Recalibrations {
+		t.Error("recalibrate events don't match report")
+	}
+}
+
+func TestRunFarmAdaptiveBeatsNonAdaptive(t *testing.T) {
+	// The headline claim: under mid-run pressure, adaptive < static.
+	specs := func() []grid.NodeSpec {
+		return []grid.NodeSpec{
+			{BaseSpeed: 20, Load: loadgen.NewStep(2*time.Second, 0, 0.95)},
+			{BaseSpeed: 20, Load: loadgen.NewStep(2*time.Second, 0, 0.95)},
+			{BaseSpeed: 10},
+			{BaseSpeed: 10},
+		}
+	}
+	tasks := fixedTasks(200, 1)
+
+	pf1, sim1 := gridPF(t, specs())
+	var adaptive Report
+	sim1.Go("root", func(c rt.Ctx) {
+		adaptive, _ = RunFarm(pf1, c, tasks, Config{SelectK: 2, ThresholdFactor: 3})
+	})
+	if err := sim1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-adaptive: same initial choice (the two initially fastest nodes),
+	// static equal partition, no monitoring.
+	pf2, sim2 := gridPF(t, specs())
+	var staticSpan time.Duration
+	sim2.Go("root", func(c rt.Ctx) {
+		rep := runStaticBaseline(pf2, c, tasks, 2)
+		staticSpan = rep
+	})
+	if err := sim2.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if adaptive.Makespan >= staticSpan {
+		t.Errorf("adaptive %v should beat static %v", adaptive.Makespan, staticSpan)
+	}
+}
+
+// runStaticBaseline mimics the non-adaptive GRASP-less run: calibrate once
+// (time-only), choose K nodes, farm everything with no detector.
+func runStaticBaseline(pf platform.Platform, c rt.Ctx, tasks []platform.Task, k int) time.Duration {
+	out, err := calibrate.Run(pf, c, calibrate.Options{
+		Strategy: calibrate.TimeOnly,
+		Probes:   tasks[:pf.Size()],
+	})
+	if err != nil {
+		panic(err)
+	}
+	chosen := out.Ranking.Select(k)
+	rep := farmRunAll(pf, c, tasks[pf.Size():], chosen)
+	_ = rep
+	return c.Now()
+}
+
+func farmRunAll(pf platform.Platform, c rt.Ctx, tasks []platform.Task, chosen []int) int {
+	results := 0
+	part := sched.Blocks(len(tasks), len(chosen))
+	idxTasks := make([][]platform.Task, len(part))
+	for i, idxs := range part {
+		for _, ti := range idxs {
+			idxTasks[i] = append(idxTasks[i], tasks[ti])
+		}
+	}
+	done := pf.Runtime().NewChan("baseline.done", len(chosen))
+	for i, w := range chosen {
+		w := w
+		mine := idxTasks[i]
+		c.Go(fmt.Sprintf("baseline.%d", w), func(cc rt.Ctx) {
+			for _, task := range mine {
+				pf.Exec(cc, w, task)
+			}
+			done.Send(cc, w)
+		})
+	}
+	for range chosen {
+		done.Recv(c)
+		results++
+	}
+	return results
+}
+
+func TestRunFarmPhasesLogged(t *testing.T) {
+	pf, sim := gridPF(t, evenSpeeds(2, 10))
+	log := trace.New()
+	sim.Go("root", func(c rt.Ctx) {
+		_, _ = RunFarm(pf, c, fixedTasks(10, 1), Config{Log: log})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := log.Phases()
+	names := make(map[string]bool)
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{PhaseProgramming, PhaseCompilation, PhaseCalibration, PhaseExecution} {
+		if !names[want] {
+			t.Errorf("phase %q missing from trace: %v", want, spans)
+		}
+	}
+}
+
+func TestRunFarmFewerTasksThanNodes(t *testing.T) {
+	pf, sim := gridPF(t, evenSpeeds(8, 10))
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, fixedTasks(3, 1), Config{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+	if rep.CalibrationTasks != 0 {
+		t.Errorf("tiny job should skip calibration, used %d", rep.CalibrationTasks)
+	}
+}
+
+func TestRunFarmEmptyTasks(t *testing.T) {
+	pf, sim := gridPF(t, evenSpeeds(2, 10))
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, nil, Config{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil || len(rep.Results) != 0 {
+		t.Errorf("rep = %+v err = %v", rep, err)
+	}
+}
+
+func TestRunFarmRecalibrationBudget(t *testing.T) {
+	// Every node is perpetually slow: each round breaches. The budget must
+	// bound the loop and the job must still finish.
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 10, Load: loadgen.NewSquareWave(0, 0.95, 5*time.Second, time.Second, time.Second)},
+		{BaseSpeed: 10, Load: loadgen.NewSquareWave(0, 0.95, 5*time.Second, time.Second, time.Second)},
+	}
+	pf, sim := gridPF(t, specs)
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, fixedTasks(100, 1), Config{
+			ThresholdFactor:   2,
+			MaxRecalibrations: 3,
+		})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recalibrations > 3 {
+		t.Errorf("recalibrations = %d, budget 3", rep.Recalibrations)
+	}
+	if len(rep.Results) != 100 {
+		t.Errorf("results = %d: job must finish despite budget", len(rep.Results))
+	}
+}
+
+func TestRunFarmDeterministic(t *testing.T) {
+	run := func() string {
+		pf, sim := gridPF(t, grid.HeterogeneousSpecs(21, 8, 50, 0.5))
+		var rep Report
+		sim.Go("root", func(c rt.Ctx) {
+			rep, _ = RunFarm(pf, c, fixedTasks(100, 2), Config{SelectK: 4, UseWeights: true, Chunk: sched.Guided{}})
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(rep.Makespan, rep.Recalibrations, len(rep.Results))
+	}
+	if run() != run() {
+		t.Error("core farm not deterministic")
+	}
+}
+
+func TestRunPipelineMapsToFittest(t *testing.T) {
+	// Nodes 2 and 0 are the fastest; a 2-stage pipe should map onto them.
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 50}, {BaseSpeed: 10}, {BaseSpeed: 100}, {BaseSpeed: 20},
+	})
+	stages := []pipeline.Stage{
+		{Name: "a", Cost: func(int) float64 { return 1 }},
+		{Name: "b", Cost: func(int) float64 { return 1 }},
+	}
+	var rep PipelineReport
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunPipeline(pf, c, stages, 10, PipelineConfig{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rep.Chosen) != "[2 0]" {
+		t.Errorf("chosen = %v, want [2 0]", rep.Chosen)
+	}
+	if fmt.Sprint(rep.Spares) != "[3 1]" {
+		t.Errorf("spares = %v, want [3 1]", rep.Spares)
+	}
+	if rep.Pipeline.Items != 10 {
+		t.Errorf("items = %d", rep.Pipeline.Items)
+	}
+}
+
+func TestRunPipelineAdaptsUnderPressure(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 20, Load: loadgen.NewStep(time.Second, 0, 0.95)},
+		{BaseSpeed: 18},
+		{BaseSpeed: 15},
+	})
+	stages := []pipeline.Stage{
+		{Name: "a", Cost: func(int) float64 { return 2 }},
+		{Name: "b", Cost: func(int) float64 { return 2 }},
+	}
+	var rep PipelineReport
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunPipeline(pf, c, stages, 50, PipelineConfig{ThresholdFactor: 3})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pipeline.Remaps) == 0 {
+		t.Error("expected the pressured stage to remap")
+	}
+	if rep.Pipeline.Items != 50 {
+		t.Errorf("items = %d", rep.Pipeline.Items)
+	}
+}
+
+func TestRunPipelineTooManyStages(t *testing.T) {
+	pf, sim := gridPF(t, evenSpeeds(1, 10))
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		_, err = RunPipeline(pf, c, []pipeline.Stage{{}, {}}, 1, PipelineConfig{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err == nil {
+		t.Error("more stages than nodes should error")
+	}
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/core"
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/vsim"
+)
+
+// ExampleRunFarm drives the full GRASP methodology: calibration picks the
+// two fastest nodes, heavy external pressure lands on exactly those nodes
+// mid-run, the min>Z threshold breaches (even the best chosen node is too
+// slow), and the farm feeds back to calibration, escaping to the idle
+// spares.
+func ExampleRunFarm() {
+	press := loadgen.NewStep(2*time.Second, 0, 0.95)
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	g, err := grid.New(env, grid.Config{Nodes: []grid.NodeSpec{
+		{BaseSpeed: 11, Load: press}, // fastest pair: Chosen by calibration
+		{BaseSpeed: 11, Load: press},
+		{BaseSpeed: 10},
+		{BaseSpeed: 10},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	pf := platform.NewGridPlatform(sim, g, 0, 1)
+
+	tasks := make([]platform.Task, 200)
+	for i := range tasks {
+		tasks[i] = platform.Task{ID: i, Cost: 1}
+	}
+
+	var rep core.Report
+	sim.Go("main", func(c rt.Ctx) {
+		rep, err = core.RunFarm(pf, c, tasks, core.Config{SelectK: 2, ThresholdFactor: 3})
+	})
+	if e := sim.Run(); e != nil {
+		panic(e)
+	}
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("tasks=%d recalibrations=%d calibration-samples=%d\n",
+		len(rep.Results), rep.Recalibrations, rep.CalibrationTasks)
+	// Output:
+	// tasks=200 recalibrations=1 calibration-samples=8
+}

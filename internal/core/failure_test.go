@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/rt"
+)
+
+func TestRunFarmSurvivesCrashDuringExecution(t *testing.T) {
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 10, FailAt: 3 * time.Second},
+		{BaseSpeed: 10},
+		{BaseSpeed: 10},
+	}
+	pf, sim := gridPF(t, specs)
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, fixedTasks(60, 10), Config{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 60 {
+		t.Errorf("results = %d, want 60 (GRASP must complete despite the crash)", len(rep.Results))
+	}
+	seen := make(map[int]int)
+	for _, r := range rep.Results {
+		seen[r.Task.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d executed %d times", id, n)
+		}
+	}
+}
+
+func TestRunFarmSurvivesCrashDuringCalibration(t *testing.T) {
+	// Node 0 is already dead when calibration runs: its probe is lost, must
+	// be re-queued, and the node must never be Chosen.
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 100, FailAt: time.Nanosecond},
+		{BaseSpeed: 10},
+		{BaseSpeed: 10},
+	}
+	pf, sim := gridPF(t, specs)
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, fixedTasks(30, 10), Config{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 30 {
+		t.Errorf("results = %d, want 30 (lost probe must be re-queued)", len(rep.Results))
+	}
+	for _, round := range rep.Rounds {
+		for _, w := range round.Chosen {
+			if w == 0 {
+				t.Errorf("dead node 0 was chosen: %v", round.Chosen)
+			}
+		}
+	}
+}
+
+func TestRunFarmAllNodesDeadErrors(t *testing.T) {
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 10, FailAt: time.Nanosecond},
+		{BaseSpeed: 10, FailAt: time.Nanosecond},
+	}
+	pf, sim := gridPF(t, specs)
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		_, err = RunFarm(pf, c, fixedTasks(10, 10), Config{})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err == nil {
+		t.Error("a fully dead platform must surface an error, not hang or lie")
+	}
+}

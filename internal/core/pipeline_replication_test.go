@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"grasp/internal/rt"
+	"grasp/internal/skel/pipeline"
+)
+
+func TestRunPipelineReplicatesThroughConfig(t *testing.T) {
+	// One stage is a 6× structural bottleneck and replicable; with
+	// MaxReplicas the GRASP driver's calibrated thresholds must detect it
+	// and grow the stage onto the spare pool.
+	stages := []pipeline.Stage{
+		{Name: "pre", Cost: func(int) float64 { return 10 }},
+		{Name: "hot", Cost: func(int) float64 { return 60 }, Replicable: true},
+		{Name: "post", Cost: func(int) float64 { return 10 }},
+	}
+	run := func(maxReplicas int) pipeline.Report {
+		pf, sim := driverWorld(t, evenSpecs(8, 100))
+		var rep PipelineReport
+		var err error
+		sim.Go("root", func(c rt.Ctx) {
+			rep, err = RunPipeline(pf, c, stages, 60, PipelineConfig{
+				ProbeCost: 10,
+				// Hot stage's 0.6 s service ≫ 2 × mean stage time (0.53 s):
+				// the structural-bottleneck bound breaches.
+				ThresholdFactor: 2,
+				BufSize:         4,
+				MaxReplicas:     maxReplicas,
+			})
+		})
+		if e := sim.Run(); e != nil {
+			t.Fatal(e)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Pipeline.Items != 60 {
+			t.Fatalf("items = %d", rep.Pipeline.Items)
+		}
+		return rep.Pipeline
+	}
+
+	remapOnly := run(0)
+	replicated := run(3)
+	if len(replicated.Replications) == 0 {
+		t.Fatal("MaxReplicas through the driver should enable replication")
+	}
+	if len(remapOnly.Replications) != 0 {
+		t.Errorf("replication happened without MaxReplicas: %d", len(remapOnly.Replications))
+	}
+	if replicated.Makespan >= remapOnly.Makespan {
+		t.Errorf("replication %v should beat remap-only %v on a structural bottleneck",
+			replicated.Makespan, remapOnly.Makespan)
+	}
+}

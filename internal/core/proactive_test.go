@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/rt"
+)
+
+// rampSpecs puts a two-step load staircase on the first k nodes.
+func rampSpecs(n, k int) []grid.NodeSpec {
+	stairs := loadgen.NewPiecewise([]loadgen.Segment{
+		{Start: 0, Load: 0},
+		{Start: 5 * time.Second, Load: 0.3},
+		{Start: 8 * time.Second, Load: 0.6},
+		{Start: 11 * time.Second, Load: 0.9},
+	})
+	specs := make([]grid.NodeSpec, n)
+	for i := range specs {
+		specs[i] = grid.NodeSpec{BaseSpeed: 100}
+		if i < k {
+			specs[i].BaseSpeed = 110 // calibration will choose these
+			specs[i].Load = stairs
+		}
+	}
+	return specs
+}
+
+func TestRunFarmProactiveRecalibratesBeforeReactive(t *testing.T) {
+	run := func(pro *Proactive) Report {
+		pf, sim := driverWorld(t, rampSpecs(8, 4))
+		var rep Report
+		var err error
+		sim.Go("root", func(c rt.Ctx) {
+			rep, err = RunFarm(pf, c, driverTasks(300, 100), Config{
+				SelectK:         4,
+				ThresholdFactor: 2,
+				Proactive:       pro,
+			})
+		})
+		if e := sim.Run(); e != nil {
+			t.Fatal(e)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Results) != 300 {
+			t.Fatalf("results = %d", len(rep.Results))
+		}
+		return rep
+	}
+	reactive := run(nil)
+	proactive := run(&Proactive{Every: 500 * time.Millisecond, LoadBound: 0.5, MinWorkers: 3})
+	if proactive.Recalibrations == 0 {
+		t.Fatal("proactive monitor should trigger a recalibration under the ramp")
+	}
+	if reactive.Recalibrations > 0 &&
+		proactive.Rounds[0].CalibratedAt >= reactive.Rounds[0].CalibratedAt {
+		t.Errorf("proactive escaped at %v, reactive at %v; want earlier",
+			proactive.Rounds[0].CalibratedAt, reactive.Rounds[0].CalibratedAt)
+	}
+	if proactive.Makespan > reactive.Makespan {
+		t.Errorf("proactive %v should not lose to reactive %v", proactive.Makespan, reactive.Makespan)
+	}
+}
+
+func TestRunFarmProactiveQuietOnIdleGrid(t *testing.T) {
+	pf, sim := driverWorld(t, evenSpecs(4, 100))
+	var rep Report
+	var err error
+	sim.Go("root", func(c rt.Ctx) {
+		rep, err = RunFarm(pf, c, driverTasks(100, 100), Config{
+			ThresholdFactor: 2,
+			Proactive:       &Proactive{Every: 500 * time.Millisecond, LoadBound: 0.5},
+		})
+	})
+	if e := sim.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recalibrations != 0 {
+		t.Errorf("idle grid triggered %d proactive recalibrations", rep.Recalibrations)
+	}
+	if len(rep.Results) != 100 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+}
+
+func TestProactiveDefaults(t *testing.T) {
+	p := (&Proactive{}).withDefaults()
+	if p.Every <= 0 || p.LoadBound <= 0 || p.MinWorkers < 1 || p.Window < 2 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	c := (&Proactive{Every: time.Minute, LoadBound: 0.8, MinWorkers: 5, Window: 9}).withDefaults()
+	if c.Every != time.Minute || c.LoadBound != 0.8 || c.MinWorkers != 5 || c.Window != 9 {
+		t.Errorf("custom values clobbered: %+v", c)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/report"
+	"grasp/internal/rt"
+	"grasp/internal/skel/compose"
+)
+
+// E17Migration evaluates the pipe-of-farms' dynamic rebalancing: worker
+// migration between stage pools, "the ability to adapt all of these
+// factors dynamically" applied to a composed skeleton.
+//
+// The workload's service demand shifts mid-stream — stage A costs 6× for
+// the first half of the items, then stage B takes over the 6× — so pools
+// sized for the opening demand are exactly wrong for the second act.
+// Expected shape: with steady demand, migration matches the static pools
+// (nothing to fix, small polling slack tolerated); under the shift,
+// migration beats static demand-sized pools, workers demonstrably flow
+// from the cooling stage to the heating one, and items are neither lost
+// nor duplicated.
+func E17Migration(seed int64) Result {
+	const (
+		nodes  = 8
+		speed  = 100.0
+		nItems = 160
+		buf    = 4
+		heavy  = 600.0
+		light  = 100.0
+	)
+
+	table := report.NewTable("E17 — Pool migration under a mid-stream demand shift",
+		"workload", "variant", "makespan", "migrations", "items")
+	var checks []Check
+
+	specs := func() []grid.NodeSpec {
+		s := make([]grid.NodeSpec, nodes)
+		for i := range s {
+			s[i] = grid.NodeSpec{BaseSpeed: speed}
+		}
+		return s
+	}
+	workers := make([]int, nodes)
+	for i := range workers {
+		workers[i] = i
+	}
+
+	steady := func(stage int) func(int) float64 {
+		return func(int) float64 {
+			if stage == 0 {
+				return heavy
+			}
+			return light
+		}
+	}
+	shifting := func(stage int) func(int) float64 {
+		return func(i int) float64 {
+			first := i < nItems/2
+			if (stage == 0) == first {
+				return heavy
+			}
+			return light
+		}
+	}
+
+	build := func(cost func(stage int) func(int) float64, pools [][]int) []compose.Stage {
+		return []compose.Stage{
+			{Name: "A", Pool: pools[0], Cost: cost(0)},
+			{Name: "B", Pool: pools[1], Cost: cost(1)},
+		}
+	}
+	// Pools sized for the opening demand (A heavy): 6:1 over 8 workers.
+	pools := func() [][]int { return compose.PoolsByDemand(workers, []float64{heavy, light}) }
+
+	runStatic := func(cost func(int) func(int) float64) (time.Duration, int) {
+		w := newWorld(grid.Config{Nodes: specs()}, 0, seed)
+		var rep compose.Report
+		w.run(func(c rt.Ctx) {
+			rep = compose.Run(w.pf, c, build(cost, pools()), nItems, compose.Options{BufSize: buf})
+		})
+		return rep.Makespan, rep.Items
+	}
+	runAdaptive := func(cost func(int) func(int) float64) (time.Duration, int, []compose.Migration, map[int]bool) {
+		w := newWorld(grid.Config{Nodes: specs()}, 0, seed)
+		var rep compose.AdaptiveReport
+		w.run(func(c rt.Ctx) {
+			rep = compose.RunAdaptive(w.pf, c, build(cost, pools()), nItems,
+				compose.Options{BufSize: buf}, compose.Rebalance{Poll: 50 * time.Millisecond})
+		})
+		ids := make(map[int]bool, rep.Items)
+		for _, o := range rep.Outputs {
+			ids[o.ID] = true
+		}
+		return rep.Makespan, rep.Items, rep.Migrations, ids
+	}
+
+	steadyStatic, steadyStaticItems := runStatic(steady)
+	steadyAdaptive, steadyAdaptiveItems, steadyMigs, _ := runAdaptive(steady)
+	shiftStatic, shiftStaticItems := runStatic(shifting)
+	shiftAdaptive, shiftAdaptiveItems, shiftMigs, shiftIDs := runAdaptive(shifting)
+
+	table.AddRow("steady", "static pools", secs(steadyStatic), "-", steadyStaticItems)
+	table.AddRow("steady", "migrating pools", secs(steadyAdaptive), len(steadyMigs), steadyAdaptiveItems)
+	table.AddRow("shifting", "static pools", secs(shiftStatic), "-", shiftStaticItems)
+	table.AddRow("shifting", "migrating pools", secs(shiftAdaptive), len(shiftMigs), shiftAdaptiveItems)
+	table.AddNote("stage costs flip 6:1 → 1:6 at the stream midpoint; pools sized 6:1 up front")
+
+	aToB := 0
+	for _, m := range shiftMigs {
+		if m.From == 0 && m.To == 1 {
+			aToB++
+		}
+	}
+	allDelivered := len(shiftIDs) == nItems
+
+	checks = append(checks,
+		check("steady-static-delivers", steadyStaticItems == nItems, "%d items", steadyStaticItems),
+		check("steady-adaptive-delivers", steadyAdaptiveItems == nItems, "%d items", steadyAdaptiveItems),
+		check("shift-static-delivers", shiftStaticItems == nItems, "%d items", shiftStaticItems),
+		check("shift-adaptive-delivers", shiftAdaptiveItems == nItems, "%d items", shiftAdaptiveItems),
+		check("no-duplicates-under-migration", allDelivered,
+			"%d distinct IDs of %d items", len(shiftIDs), nItems),
+		check("steady-parity", steadyAdaptive <= steadyStatic*5/4,
+			"migrating %v vs static %v with nothing to fix", steadyAdaptive, steadyStatic),
+		check("migration-wins-under-shift", shiftAdaptive < shiftStatic,
+			"migrating %v vs static %v under the demand flip", shiftAdaptive, shiftStatic),
+		check("workers-flow-to-heat", aToB >= 1,
+			"%d migrations A→B after the flip (total %d)", aToB, len(shiftMigs)),
+	)
+	return Result{ID: "E17", Title: "Pool migration under demand shift", Table: table, Checks: checks}
+}

@@ -1,0 +1,104 @@
+// Package experiments contains one driver per experiment in DESIGN.md's
+// index (E1–E16). Each driver builds its grid and workload, runs the
+// adaptive system and its baselines, and returns a rendered table plus
+// machine-checkable shape assertions — the reproduction of the paper's
+// evaluation exhibits.
+//
+// The poster itself publishes a methodology figure and two algorithms
+// rather than numeric tables; the quantitative shapes tested here are the
+// claims those exhibits make and the companion papers (refs [6], [7])
+// evaluate: adaptive beats static under pressure, the gap grows with
+// pressure, statistical calibration beats raw times under noise, thresholds
+// trade stability against responsiveness, and calibration overhead
+// amortises.
+package experiments
+
+import (
+	"fmt"
+
+	"grasp/internal/report"
+)
+
+// Check is one shape assertion an experiment makes about its own output.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is an experiment's full outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Table  *report.Table
+	Checks []Check
+}
+
+// Passed reports whether every check holds.
+func (r Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks lists the names of failing checks.
+func (r Result) FailedChecks() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, fmt.Sprintf("%s (%s)", c.Name, c.Detail))
+		}
+	}
+	return out
+}
+
+// check builds a Check from a condition.
+func check(name string, pass bool, detailFormat string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(detailFormat, args...)}
+}
+
+// Runner is a named experiment entry point. Seed varies the stochastic
+// inputs; every run with the same seed is identical.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(seed int64) Result
+}
+
+// All returns every experiment in index order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "GRASP lifecycle (Fig. 1)", E1Lifecycle},
+		{"E2", "Calibration ranking quality (Alg. 1)", E2Calibration},
+		{"E3", "Adaptive vs static task farm under pressure (ref [6] shape)", E3FarmAdaptive},
+		{"E4", "Adaptive vs static pipeline (ref [7] shape)", E4PipeAdaptive},
+		{"E5", "Threshold Z sensitivity (Alg. 2)", E5Threshold},
+		{"E6", "Statistical vs time-only calibration (Alg. 1)", E6Ranking},
+		{"E7", "Scalability with node count", E7Scalability},
+		{"E8", "Heterogeneity and dispatch policy", E8Heterogeneity},
+		{"E9", "Calibration cost amortisation", E9CalibCost},
+		{"E10", "Ablation: chunk policy × workload", E10Ablation},
+		{"E11", "Ablation: threshold rule (min/mean/max over Z)", E11ThresholdRule},
+		{"E12", "Fault tolerance under node crashes", E12FaultTolerance},
+		{"E13", "Data-parallel map: decomposition, waves, dispatch traffic", E13Map},
+		{"E14", "Reduction topologies on a heterogeneous grid", E14Reduce},
+		{"E15", "Skeleton nesting: pipe-of-farms vs plain pipeline", E15Compose},
+		{"E16", "Divide-and-conquer grain sweep", E16DivideConquer},
+		{"E17", "Pool migration under a mid-stream demand shift", E17Migration},
+		{"E18", "Multi-site co-allocation by communication/computation ratio", E18MultiSite},
+		{"E19", "Reactive vs proactive adaptation under a load ramp", E19Proactive},
+	}
+}
+
+// ByID returns the runner with the given ID (case-sensitive), or false.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

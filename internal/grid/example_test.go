@@ -1,0 +1,40 @@
+package grid_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/vsim"
+)
+
+// ExampleGrid_Execute runs one unit of remote work: ship the input, compute
+// under the node's external-load trace, ship the result back. The load
+// step arriving mid-task stretches exactly the remaining fraction.
+func ExampleGrid_Execute() {
+	env := vsim.New()
+	g, err := grid.New(env, grid.Config{
+		Nodes: []grid.NodeSpec{{
+			BaseSpeed: 10, // 10 ops/s when idle
+			// 50% external load from t=500ms.
+			Load: loadgen.NewStep(500*time.Millisecond, 0, 0.5),
+		}},
+		Links: []grid.LinkSpec{{Latency: 0, Bandwidth: 1e6}},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	env.Go("master", func(p *vsim.Proc) {
+		// 10 ops: 5 done in the idle first 500ms, the remaining 5 at half
+		// speed take a full second.
+		d, err := g.Execute(p, 0, grid.Work{Cost: 10})
+		fmt.Println(d, err)
+	})
+	if err := env.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// 1.5s <nil>
+}

@@ -1,0 +1,72 @@
+package grid
+
+import (
+	"time"
+
+	"grasp/internal/vsim"
+)
+
+// Work is one unit of remote execution: input shipped to the node, cost
+// operations computed there, output shipped back. The skeleton layers map
+// their task types onto Work.
+type Work struct {
+	Cost     float64 // operations
+	InBytes  float64 // input payload, master → node
+	OutBytes float64 // result payload, node → master
+}
+
+// Execute performs w on node id, blocking p for transfer-in, compute, and
+// transfer-out. It returns the total wall (virtual) time — exactly the
+// per-task measurement Algorithm 1 and 2 collect — and ErrNodeFailed when
+// the node crashes before the result is back (the output transfer is
+// skipped; the work is lost).
+func (g *Grid) Execute(p *vsim.Proc, id NodeID, w Work) (time.Duration, error) {
+	start := g.env.Now()
+	if g.Node(id).FailedAt(g.env.Now()) {
+		return 0, ErrNodeFailed
+	}
+	if w.InBytes > 0 {
+		g.SendTo(p, id, w.InBytes)
+	}
+	if _, err := g.Node(id).Compute(p, w.Cost); err != nil {
+		return g.env.Now() - start, err
+	}
+	if w.OutBytes > 0 {
+		g.RecvFrom(p, id, w.OutBytes)
+	}
+	return g.env.Now() - start, nil
+}
+
+// Snapshot summarises per-node accounting at a point in virtual time, used
+// by experiments to report utilisation and imbalance.
+type Snapshot struct {
+	At    time.Duration
+	Nodes []NodeStat
+}
+
+// NodeStat is one node's accounting entry in a Snapshot.
+type NodeStat struct {
+	ID        NodeID
+	Name      string
+	BaseSpeed float64
+	Load      float64 // true external load at snapshot time
+	Busy      time.Duration
+	TasksDone int
+}
+
+// Snapshot captures accounting for all nodes at the current virtual time.
+func (g *Grid) Snapshot() Snapshot {
+	now := g.env.Now()
+	s := Snapshot{At: now}
+	for _, n := range g.nodes {
+		s.Nodes = append(s.Nodes, NodeStat{
+			ID:        n.ID,
+			Name:      n.Name,
+			BaseSpeed: n.BaseSpeed,
+			Load:      n.LoadAt(now),
+			Busy:      n.BusyTime(),
+			TasksDone: n.TasksDone(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+package loadgen_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/loadgen"
+)
+
+// ExampleNewSquareWave models a periodically shared node: 80% external
+// load for 10 s, idle for 10 s, repeating.
+func ExampleNewSquareWave() {
+	w := loadgen.NewSquareWave(0, 0.8, 10*time.Second, 10*time.Second, 0)
+	for _, t := range []time.Duration{0, 5 * time.Second, 15 * time.Second, 25 * time.Second} {
+		fmt.Printf("t=%v load=%.1f\n", t, w.At(t))
+	}
+	// Output:
+	// t=0s load=0.8
+	// t=5s load=0.8
+	// t=15s load=0.0
+	// t=25s load=0.8
+}
+
+// ExampleNewPiecewise builds the staircase traces the experiments ramp
+// pressure with; NextChange drives the simulator's exact integration.
+func ExampleNewPiecewise() {
+	tr := loadgen.NewPiecewise([]loadgen.Segment{
+		{Start: 0, Load: 0},
+		{Start: 10 * time.Second, Load: 0.3},
+		{Start: 20 * time.Second, Load: 0.9},
+	})
+	next, ok := tr.NextChange(12 * time.Second)
+	fmt.Printf("load(12s)=%.1f next change at %v (%v)\n", tr.At(12*time.Second), next, ok)
+	// Output:
+	// load(12s)=0.3 next change at 20s (true)
+}

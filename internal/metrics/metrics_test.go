@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if !math.IsNaN(Speedup(time.Second, 0)) {
+		t.Error("zero parallel time should be NaN")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(10*time.Second, 2*time.Second, 5); got != 1 {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if got := Efficiency(10*time.Second, 2*time.Second, 10); got != 0.5 {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if !math.IsNaN(Efficiency(time.Second, time.Second, 0)) {
+		t.Error("zero procs should be NaN")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	perfect := []time.Duration{time.Second, time.Second, time.Second}
+	if got := Imbalance(perfect); math.Abs(got) > 1e-9 {
+		t.Errorf("perfect balance = %v, want 0", got)
+	}
+	skewed := []time.Duration{2 * time.Second, time.Second, time.Second} // max 2, mean 4/3
+	if got := Imbalance(skewed); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Imbalance = %v, want 0.5", got)
+	}
+	if !math.IsNaN(Imbalance(nil)) {
+		t.Error("empty should be NaN")
+	}
+	if !math.IsNaN(Imbalance([]time.Duration{0, 0})) {
+		t.Error("all-zero should be NaN")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	equal := []time.Duration{time.Second, time.Second, time.Second, time.Second}
+	if got := JainFairness(equal); math.Abs(got-1) > 1e-9 {
+		t.Errorf("equal fairness = %v, want 1", got)
+	}
+	// One node does everything: index = 1/n.
+	solo := []time.Duration{4 * time.Second, 0, 0, 0}
+	if got := JainFairness(solo); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("solo fairness = %v, want 0.25", got)
+	}
+	if !math.IsNaN(JainFairness(nil)) || !math.IsNaN(JainFairness([]time.Duration{0})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+func TestJainBetween(t *testing.T) {
+	xs := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	got := JainFairness(xs)
+	if got <= 1.0/3 || got >= 1 {
+		t.Errorf("fairness = %v, want within (1/3, 1)", got)
+	}
+}
+
+func TestCoefVar(t *testing.T) {
+	if got := CoefVar([]time.Duration{time.Second, time.Second}); got != 0 {
+		t.Errorf("CoefVar equal = %v", got)
+	}
+}
+
+func TestDurationAggregates(t *testing.T) {
+	ds := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if MeanDuration(ds) != 2*time.Second {
+		t.Errorf("Mean = %v", MeanDuration(ds))
+	}
+	if MaxDuration(ds) != 3*time.Second {
+		t.Errorf("Max = %v", MaxDuration(ds))
+	}
+	if MinDuration(ds) != time.Second {
+		t.Errorf("Min = %v", MinDuration(ds))
+	}
+	if MeanDuration(nil) != 0 || MaxDuration(nil) != 0 || MinDuration(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+}
+
+func TestGainPercent(t *testing.T) {
+	if got := GainPercent(10*time.Second, 5*time.Second); got != 50 {
+		t.Errorf("Gain = %v", got)
+	}
+	if got := GainPercent(10*time.Second, 12*time.Second); got != -20 {
+		t.Errorf("Gain = %v", got)
+	}
+	if !math.IsNaN(GainPercent(0, time.Second)) {
+		t.Error("zero baseline should be NaN")
+	}
+}

@@ -1,0 +1,30 @@
+package monitor_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/monitor"
+)
+
+// ExampleDetector implements Algorithm 2's rule: the farm tolerates task
+// times up to Z and triggers recalibration when even the fastest recent
+// task ("min T") exceeds it.
+func ExampleDetector() {
+	d := monitor.NewDetector(2 * time.Second) // Z
+	d.Window = 3
+	d.MinSamples = 3
+
+	for _, t := range []time.Duration{
+		1 * time.Second, 2500 * time.Millisecond, 1200 * time.Millisecond, // one slow node is tolerated
+		3 * time.Second, 4 * time.Second, 5 * time.Second, // the whole round degrades
+	} {
+		d.Observe(t)
+		if breached, stat := d.Breached(); breached {
+			fmt.Printf("recalibrate: min T = %v > Z\n", stat)
+			break
+		}
+	}
+	// Output:
+	// recalibrate: min T = 3s > Z
+}

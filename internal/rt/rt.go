@@ -1,0 +1,64 @@
+// Package rt abstracts the execution substrate for skeleton code. The same
+// farm and pipeline implementations run on either a real concurrent runtime
+// (goroutines, wall-clock time) or the deterministic grid simulator
+// (vsim processes, virtual time).
+//
+// This mirrors the paper's central portability claim for structured
+// parallelism — "providing a clear and consistent meaning across platforms
+// while their associated structure depends on the particular implementation"
+// — and is what lets the experiment harness measure the identical skeleton
+// logic the examples expose to library users.
+package rt
+
+import "time"
+
+// Ctx is the execution context handed to every process. All blocking
+// operations are methods on the context of the calling process.
+type Ctx interface {
+	// Name returns the process name.
+	Name() string
+	// Now returns the time elapsed since the runtime started.
+	Now() time.Duration
+	// Sleep suspends the calling process for d.
+	Sleep(d time.Duration)
+	// Go spawns a child process and returns a handle to join on.
+	Go(name string, fn func(Ctx)) Handle
+	// Join blocks until the process behind h has finished.
+	Join(h Handle)
+}
+
+// Handle identifies a spawned process for Join.
+type Handle interface{ handle() }
+
+// Chan is a channel of untyped values with Go semantics, usable from any
+// process of the runtime that created it.
+type Chan interface {
+	// Send delivers v, blocking until accepted. Panics if closed.
+	Send(c Ctx, v any)
+	// TrySend delivers v without blocking, reporting acceptance.
+	TrySend(c Ctx, v any) bool
+	// Recv returns the next value; ok is false when closed and drained.
+	Recv(c Ctx) (v any, ok bool)
+	// TryRecv is a non-blocking Recv; done reports whether the operation
+	// completed (either a value or closed-and-drained).
+	TryRecv(c Ctx) (v any, ok, done bool)
+	// Close marks the channel closed.
+	Close(c Ctx)
+	// Len returns the number of buffered values.
+	Len() int
+	// Cap returns the buffer capacity.
+	Cap() int
+}
+
+// Runtime creates processes and channels and drives them to completion.
+type Runtime interface {
+	// Go spawns a root process.
+	Go(name string, fn func(Ctx)) Handle
+	// NewChan creates a channel with the given buffer capacity.
+	NewChan(name string, capacity int) Chan
+	// Run drives the runtime until all processes have finished. For the
+	// simulated runtime it can return a deadlock error.
+	Run() error
+	// Now returns the time elapsed since the runtime started.
+	Now() time.Duration
+}

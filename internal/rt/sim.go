@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"time"
+
+	"grasp/internal/vsim"
+)
+
+// Sim is the simulated runtime: processes are vsim processes and time is
+// virtual. It is deterministic and is what every experiment runs on.
+type Sim struct {
+	env *vsim.Env
+}
+
+// NewSim wraps a simulation environment as a Runtime.
+func NewSim(env *vsim.Env) *Sim { return &Sim{env: env} }
+
+// Env exposes the underlying simulation environment.
+func (s *Sim) Env() *vsim.Env { return s.env }
+
+// simHandle adapts a vsim.Proc to Handle.
+type simHandle struct{ p *vsim.Proc }
+
+func (simHandle) handle() {}
+
+// simCtx is the Ctx of a simulated process.
+type simCtx struct {
+	s *Sim
+	p *vsim.Proc
+}
+
+// Name implements Ctx.
+func (c simCtx) Name() string { return c.p.Name() }
+
+// Now implements Ctx.
+func (c simCtx) Now() time.Duration { return c.s.env.Now() }
+
+// Sleep implements Ctx.
+func (c simCtx) Sleep(d time.Duration) { c.p.Sleep(d) }
+
+// Go implements Ctx.
+func (c simCtx) Go(name string, fn func(Ctx)) Handle { return c.s.Go(name, fn) }
+
+// Join implements Ctx.
+func (c simCtx) Join(h Handle) {
+	sh, okCast := h.(simHandle)
+	if !okCast {
+		panic("rt: joining a non-simulated handle on the simulated runtime")
+	}
+	c.p.Join(sh.p)
+}
+
+// Go implements Runtime.
+func (s *Sim) Go(name string, fn func(Ctx)) Handle {
+	p := s.env.Go(name, func(p *vsim.Proc) {
+		fn(simCtx{s: s, p: p})
+	})
+	return simHandle{p: p}
+}
+
+// NewChan implements Runtime.
+func (s *Sim) NewChan(name string, capacity int) Chan {
+	return &simChan{ch: vsim.NewChan[any](s.env, name, capacity)}
+}
+
+// Run implements Runtime.
+func (s *Sim) Run() error { return s.env.Run() }
+
+// Now implements Runtime.
+func (s *Sim) Now() time.Duration { return s.env.Now() }
+
+// simChan adapts vsim.Chan[any] to Chan.
+type simChan struct {
+	ch *vsim.Chan[any]
+}
+
+func proc(c Ctx) *vsim.Proc {
+	sc, okCast := c.(simCtx)
+	if !okCast {
+		panic("rt: simulated channel used from a non-simulated context")
+	}
+	return sc.p
+}
+
+// Send implements Chan.
+func (s *simChan) Send(c Ctx, v any) { s.ch.Send(proc(c), v) }
+
+// TrySend implements Chan.
+func (s *simChan) TrySend(c Ctx, v any) bool { return s.ch.TrySend(proc(c), v) }
+
+// Recv implements Chan.
+func (s *simChan) Recv(c Ctx) (any, bool) { return s.ch.Recv(proc(c)) }
+
+// TryRecv implements Chan.
+func (s *simChan) TryRecv(c Ctx) (any, bool, bool) { return s.ch.TryRecv(proc(c)) }
+
+// Close implements Chan.
+func (s *simChan) Close(c Ctx) { s.ch.Close(proc(c)) }
+
+// Len implements Chan.
+func (s *simChan) Len() int { return s.ch.Len() }
+
+// Cap implements Chan.
+func (s *simChan) Cap() int { return s.ch.Cap() }
+
+// ProcOf returns the vsim process behind a simulated context. Grid-backed
+// executors use it to block the calling skeleton process on simulated
+// transfers and computation. It panics for non-simulated contexts.
+func ProcOf(c Ctx) *vsim.Proc { return proc(c) }

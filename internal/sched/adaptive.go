@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// WorkerChunker is an optional ChunkPolicy refinement: policies that size
+// chunks per requesting worker implement it, and the farm prefers it over
+// the worker-blind Chunk when present.
+type WorkerChunker interface {
+	// ChunkFor returns the number of tasks to hand the given worker.
+	ChunkFor(worker, remaining, workers int, weight float64) int
+}
+
+// TimeObserver is an optional ChunkPolicy refinement: the farm feeds every
+// completed task's (worker, execution time) back to policies that
+// implement it, closing the loop that makes granularity adaptive.
+type TimeObserver interface {
+	// ObserveTime records one task execution on the given worker.
+	ObserveTime(worker int, d time.Duration)
+}
+
+// AdaptiveChunk adapts the granularity ("blocking of communications") to
+// the observed per-worker task times: each worker's chunk is sized so its
+// batch takes roughly Target of wall time on that worker,
+//
+//	chunk_w = Target / (EWMA(time) + Safety·σ(time)),
+//
+// so fast nodes amortise dispatch traffic with big batches while slow — or
+// newly pressured — nodes drop to fine-grained chunks that keep the tail
+// balanced. The σ term makes the sizing variance-aware: on heavy-tailed
+// workloads a batch sized by the mean alone would regularly catch several
+// expensive outliers and straggle, so dispersion shrinks the batch. A
+// guided-style tail guard (chunk ≤ ⌈remaining/2P⌉ once small) keeps the
+// final batches fine regardless.
+//
+// This is the dynamic counterpart of the static policies above: where
+// Weighted trusts the calibration snapshot, AdaptiveChunk keeps
+// re-estimating throughout execution — the "ability to adapt all of these
+// factors dynamically" the paper calls for.
+//
+// Until a worker has an observation it receives single tasks (probing).
+// AdaptiveChunk is stateful and safe for concurrent use; use one per farm
+// run.
+type AdaptiveChunk struct {
+	// Target is the desired wall time of one dispatched batch (required).
+	Target time.Duration
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 defaults to 0.3.
+	Alpha float64
+	// Safety scales the dispersion penalty (default 1; negative disables).
+	Safety float64
+	// MaxK caps the chunk size (default 64).
+	MaxK int
+
+	mu   sync.Mutex
+	mean map[int]float64 // worker → smoothed task seconds
+	vari map[int]float64 // worker → smoothed squared deviation
+}
+
+// NewAdaptiveChunk returns an adaptive policy aiming at the given batch
+// time.
+func NewAdaptiveChunk(target time.Duration) *AdaptiveChunk {
+	return &AdaptiveChunk{Target: target}
+}
+
+// ObserveTime implements TimeObserver.
+func (a *AdaptiveChunk) ObserveTime(worker int, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	alpha := a.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.mean == nil {
+		a.mean = make(map[int]float64)
+		a.vari = make(map[int]float64)
+	}
+	s := d.Seconds()
+	prev, ok := a.mean[worker]
+	if !ok {
+		a.mean[worker] = s
+		a.vari[worker] = 0
+		return
+	}
+	dev := s - prev
+	a.mean[worker] = alpha*s + (1-alpha)*prev
+	a.vari[worker] = alpha*dev*dev + (1-alpha)*a.vari[worker]
+}
+
+// ChunkFor implements WorkerChunker.
+func (a *AdaptiveChunk) ChunkFor(worker, remaining, workers int, _ float64) int {
+	a.mu.Lock()
+	mean, ok := a.mean[worker]
+	vari := a.vari[worker]
+	a.mu.Unlock()
+	if !ok || mean <= 0 || a.Target <= 0 {
+		return clampChunk(1, remaining) // probe first
+	}
+	safety := a.Safety
+	if safety == 0 {
+		safety = 1
+	}
+	if safety < 0 {
+		safety = 0
+	}
+	est := mean + safety*math.Sqrt(vari)
+	maxK := a.MaxK
+	if maxK <= 0 {
+		maxK = 64
+	}
+	k := int(a.Target.Seconds() / est)
+	if k > maxK {
+		k = maxK
+	}
+	// Tail guard: never take more than half of an even share of what
+	// remains, so the last batches stay fine-grained (cf. Guided).
+	if workers > 0 {
+		if tail := (remaining + 2*workers - 1) / (2 * workers); k > tail {
+			k = tail
+		}
+	}
+	return clampChunk(k, remaining)
+}
+
+// Chunk implements ChunkPolicy for callers without worker identity: the
+// conservative single-task probe.
+func (a *AdaptiveChunk) Chunk(remaining, _ int, _ float64) int {
+	return clampChunk(1, remaining)
+}
+
+// String implements ChunkPolicy.
+func (a *AdaptiveChunk) String() string {
+	return fmt.Sprintf("adaptive(%v)", a.Target)
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAdaptiveChunkProbesUntilObserved(t *testing.T) {
+	a := NewAdaptiveChunk(time.Second)
+	if got := a.ChunkFor(0, 100, 4, 0.25); got != 1 {
+		t.Errorf("unobserved worker chunk = %d, want 1 (probe)", got)
+	}
+	if got := a.Chunk(100, 4, 0.25); got != 1 {
+		t.Errorf("worker-blind chunk = %d, want 1", got)
+	}
+}
+
+func TestAdaptiveChunkSizesToTarget(t *testing.T) {
+	a := NewAdaptiveChunk(time.Second)
+	a.ObserveTime(0, 100*time.Millisecond) // fast: 10 tasks fill a second
+	a.ObserveTime(1, 500*time.Millisecond) // slow: 2 tasks fill a second
+	if got := a.ChunkFor(0, 100, 2, 0.5); got != 10 {
+		t.Errorf("fast worker chunk = %d, want 10", got)
+	}
+	if got := a.ChunkFor(1, 100, 2, 0.5); got != 2 {
+		t.Errorf("slow worker chunk = %d, want 2", got)
+	}
+}
+
+func TestAdaptiveChunkShrinksUnderDegradation(t *testing.T) {
+	a := NewAdaptiveChunk(time.Second)
+	a.Alpha = 0.5
+	a.ObserveTime(0, 100*time.Millisecond)
+	before := a.ChunkFor(0, 1000, 1, 1)
+	// The node comes under pressure: task times quadruple.
+	for i := 0; i < 8; i++ {
+		a.ObserveTime(0, 400*time.Millisecond)
+	}
+	after := a.ChunkFor(0, 1000, 1, 1)
+	if after >= before {
+		t.Errorf("chunk should shrink under pressure: before %d, after %d", before, after)
+	}
+}
+
+func TestAdaptiveChunkRespectsCap(t *testing.T) {
+	a := NewAdaptiveChunk(time.Hour)
+	a.MaxK = 8
+	a.ObserveTime(0, time.Millisecond)
+	if got := a.ChunkFor(0, 1000, 1, 1); got != 8 {
+		t.Errorf("chunk = %d, want cap 8", got)
+	}
+}
+
+func TestAdaptiveChunkIgnoresNonPositiveObservations(t *testing.T) {
+	a := NewAdaptiveChunk(time.Second)
+	a.ObserveTime(0, 0)
+	a.ObserveTime(0, -time.Second)
+	if got := a.ChunkFor(0, 10, 1, 1); got != 1 {
+		t.Errorf("chunk = %d, want probing 1", got)
+	}
+}
+
+func TestAdaptiveChunkString(t *testing.T) {
+	if s := NewAdaptiveChunk(2 * time.Second).String(); s != "adaptive(2s)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestAdaptiveChunkBoundsProperty: the chunk is always within [1,
+// remaining] for remaining > 0 and 0 when empty, for arbitrary
+// observations.
+func TestAdaptiveChunkBoundsProperty(t *testing.T) {
+	f := func(obsMillis []uint16, remaining uint16) bool {
+		a := NewAdaptiveChunk(time.Second)
+		for i, m := range obsMillis {
+			a.ObserveTime(i%4, time.Duration(m)*time.Millisecond)
+		}
+		rem := int(remaining) % 500
+		for w := 0; w < 4; w++ {
+			got := a.ChunkFor(w, rem, 4, 0.25)
+			if rem == 0 && got != 0 {
+				return false
+			}
+			if rem > 0 && (got < 1 || got > rem) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

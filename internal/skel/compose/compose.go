@@ -1,0 +1,363 @@
+// Package compose implements skeleton nesting — "parallel programs are
+// expressed by interweaving parameterised skeletons" (the paper's opening
+// claim). Its first composition is the pipe-of-farms: a pipeline whose
+// every stage is internally a demand-driven farm over its own worker pool,
+// so a structurally slow stage can be given capacity instead of throttling
+// the whole pipe.
+//
+// The composition inherits both parents' intrinsic properties: per-stage
+// pools bound throughput like pipeline stages (the slowest stage's
+// aggregate service rate binds the pipe), while demand-driven pulls inside
+// a pool absorb heterogeneity like a farm. The GRASP hook is pool sizing:
+// PoolsByDemand splits a calibrated worker ranking across stages in
+// proportion to their service demand, which is exactly the "correct
+// selection of resources" the paper asks the calibration phase to make.
+//
+// Items may leave a farmed stage out of order (that is the cost of farming
+// it); Report.Outputs preserves exit order and carries item IDs so callers
+// can reorder when the application needs it.
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+)
+
+// Stage describes one farmed pipeline stage.
+type Stage struct {
+	// Name identifies the stage in traces.
+	Name string
+	// Pool are the worker indices farming this stage. Every stage needs at
+	// least one worker.
+	Pool []int
+	// Cost returns the operation count for item i (simulated platforms).
+	Cost func(item int) float64
+	// InBytes/OutBytes are per-item payload sizes for this stage.
+	InBytes, OutBytes float64
+	// Fn transforms the item value (local platform; optional elsewhere).
+	Fn func(v any) any
+}
+
+// Options configures a pipe-of-farms run.
+type Options struct {
+	// BufSize is the inter-stage buffer capacity (default 1).
+	BufSize int
+	// Log receives trace events (optional).
+	Log *trace.Log
+}
+
+// Output is one item leaving the pipe.
+type Output struct {
+	ID    int
+	Value any
+	At    time.Duration
+}
+
+// Report is the outcome of a pipe-of-farms run.
+type Report struct {
+	// Makespan is the time from start until the last item left the sink.
+	Makespan time.Duration
+	// Items counts items that exited.
+	Items int
+	// Outputs lists exits in exit order (IDs identify items).
+	Outputs []Output
+	// ServiceByStage sums busy time per stage across its pool.
+	ServiceByStage []time.Duration
+	// ItemsByWorker counts items executed per worker index (all stages).
+	ItemsByWorker map[int]int
+	// Failures counts executions lost to worker crashes; the item is
+	// retried on another pool member when one survives.
+	Failures int
+	// Lost counts items dropped because a stage's whole pool died.
+	Lost int
+}
+
+// Run pushes nItems items (IDs 0..nItems−1, initial value = their ID)
+// through the farmed stages from within process c, blocking until the sink
+// has drained.
+func Run(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opts Options) Report {
+	rep := Report{ItemsByWorker: make(map[int]int)}
+	if len(stages) == 0 {
+		return rep
+	}
+	for si, st := range stages {
+		if len(st.Pool) == 0 {
+			panic(fmt.Sprintf("compose: stage %d (%s) has an empty pool", si, st.Name))
+		}
+	}
+	bufSize := opts.BufSize
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	runtime := pf.Runtime()
+	start := c.Now()
+	rep.ServiceByStage = make([]time.Duration, len(stages))
+	var mu sync.Mutex // guards rep fields written by stage workers
+
+	chans := make([]rt.Chan, len(stages)+1)
+	for i := range chans {
+		chans[i] = runtime.NewChan(fmt.Sprintf("pof.c%d", i), bufSize)
+	}
+
+	// Source.
+	c.Go("pof.source", func(cc rt.Ctx) {
+		for i := 0; i < nItems; i++ {
+			chans[0].Send(cc, item{id: i, val: i})
+		}
+		chans[0].Close(cc)
+	})
+
+	// Per-stage farms: each pool member pulls from the stage input; the
+	// last member out closes the stage output. Dead pool members hand their
+	// in-flight item to the stage's shared retry slot.
+	type stageShared struct {
+		mu      sync.Mutex
+		active  int
+		dead    int
+		retries []item
+	}
+	shared := make([]*stageShared, len(stages))
+	var handles []rt.Handle
+	for si := range stages {
+		si := si
+		st := stages[si]
+		ss := &stageShared{active: len(st.Pool)}
+		shared[si] = ss
+		for _, w := range st.Pool {
+			w := w
+			h := c.Go(fmt.Sprintf("pof.s%d.%s", si, pf.WorkerName(w)), func(cc rt.Ctx) {
+				alive := true
+				for {
+					// Serve a crashed sibling's abandoned item first.
+					ss.mu.Lock()
+					var it item
+					haveRetry := false
+					if len(ss.retries) > 0 {
+						it = ss.retries[0]
+						ss.retries = ss.retries[1:]
+						haveRetry = true
+					}
+					ss.mu.Unlock()
+					if !haveRetry {
+						v, ok := chans[si].Recv(cc)
+						if !ok {
+							break
+						}
+						it = v.(item)
+					}
+					if !alive {
+						// This worker's node already crashed: pass the item
+						// back for a live sibling (or count it lost below).
+						ss.mu.Lock()
+						ss.retries = append(ss.retries, it)
+						ss.mu.Unlock()
+						break
+					}
+					cost := 0.0
+					if st.Cost != nil {
+						cost = st.Cost(it.id)
+					}
+					res := pf.Exec(cc, w, platform.Task{
+						ID: it.id, Cost: cost,
+						InBytes: st.InBytes, OutBytes: st.OutBytes,
+						Fn: wrapFn(st.Fn, it.val),
+					})
+					if res.Failed() {
+						mu.Lock()
+						rep.Failures++
+						mu.Unlock()
+						ss.mu.Lock()
+						ss.retries = append(ss.retries, it)
+						ss.dead++
+						ss.mu.Unlock()
+						alive = false
+						if opts.Log != nil {
+							opts.Log.Append(trace.Event{
+								At: cc.Now(), Kind: trace.KindNote,
+								Proc: st.Name, Node: pf.WorkerName(w),
+								Msg: fmt.Sprintf("stage %d pool member %s failed", si, pf.WorkerName(w)),
+							})
+						}
+						break
+					}
+					if st.Fn != nil {
+						it.val = res.Value
+					}
+					mu.Lock()
+					rep.ServiceByStage[si] += res.Time
+					rep.ItemsByWorker[w]++
+					mu.Unlock()
+					if opts.Log != nil {
+						opts.Log.Append(trace.Event{
+							At: cc.Now(), Kind: trace.KindComplete,
+							Proc: st.Name, Node: pf.WorkerName(res.Worker),
+							Task: it.id, Dur: res.Time,
+						})
+					}
+					chans[si+1].Send(cc, it)
+				}
+				// Leaving the pool: the last one out drains the retry slot
+				// and whatever the upstream still produces (counting the
+				// items as lost — nobody is left to run them), then closes
+				// the downstream channel. On a clean exit the input is
+				// already closed and drained, so the drain is a no-op.
+				ss.mu.Lock()
+				ss.active--
+				last := ss.active == 0
+				var lost int
+				if last {
+					lost = len(ss.retries)
+					ss.retries = nil
+				}
+				ss.mu.Unlock()
+				if last {
+					for {
+						if _, ok := chans[si].Recv(cc); !ok {
+							break
+						}
+						lost++
+					}
+					if lost > 0 {
+						mu.Lock()
+						rep.Lost += lost
+						mu.Unlock()
+					}
+					chans[si+1].Close(cc)
+				}
+			})
+			handles = append(handles, h)
+		}
+	}
+
+	// Sink (runs in the caller).
+	for {
+		v, ok := chans[len(stages)].Recv(c)
+		if !ok {
+			break
+		}
+		it := v.(item)
+		rep.Items++
+		rep.Outputs = append(rep.Outputs, Output{ID: it.id, Value: it.val, At: c.Now() - start})
+	}
+	for _, h := range handles {
+		c.Join(h)
+	}
+	if rep.Items > 0 {
+		rep.Makespan = rep.Outputs[len(rep.Outputs)-1].At
+	}
+	return rep
+}
+
+// wrapFn binds a stage transform to the current value for platform.Exec.
+func wrapFn(fn func(any) any, v any) func() any {
+	if fn == nil {
+		return nil
+	}
+	return func() any { return fn(v) }
+}
+
+// PoolsByDemand partitions ranked workers (fittest first, from Algorithm 1)
+// into one pool per stage, allocating pool sizes proportional to the
+// stages' service demands (per-item cost) and assigning the fittest
+// workers to the most demanding stages. Every stage receives at least one
+// worker; callers need len(workers) ≥ len(demands).
+func PoolsByDemand(workers []int, demands []float64) [][]int {
+	s := len(demands)
+	if s == 0 {
+		return nil
+	}
+	if len(workers) < s {
+		panic(fmt.Sprintf("compose: %d workers for %d stages", len(workers), s))
+	}
+	var total float64
+	for _, d := range demands {
+		if d > 0 {
+			total += d
+		}
+	}
+	// Target pool sizes: one guaranteed worker each, the surplus split
+	// proportionally by demand (largest-remainder rounding).
+	sizes := make([]int, s)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	surplus := len(workers) - s
+	if surplus > 0 && total > 0 {
+		type frac struct {
+			stage int
+			rem   float64
+		}
+		var fracs []frac
+		used := 0
+		for i, d := range demands {
+			share := 0.0
+			if d > 0 {
+				share = d / total * float64(surplus)
+			}
+			whole := int(share)
+			sizes[i] += whole
+			used += whole
+			fracs = append(fracs, frac{stage: i, rem: share - float64(whole)})
+		}
+		sort.SliceStable(fracs, func(a, b int) bool {
+			if fracs[a].rem != fracs[b].rem {
+				return fracs[a].rem > fracs[b].rem
+			}
+			// Remainder ties go to the more demanding stage.
+			return demands[fracs[a].stage] > demands[fracs[b].stage]
+		})
+		for k := 0; k < surplus-used; k++ {
+			sizes[fracs[k%len(fracs)].stage]++
+		}
+	} else if surplus > 0 {
+		for k := 0; k < surplus; k++ {
+			sizes[k%s]++
+		}
+	}
+	// Deal ranked workers round-robin over stages ordered by demand, so
+	// each pool's quality is proportionate, not just its size.
+	order := make([]int, s)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return demands[order[a]] > demands[order[b]] })
+	pools := make([][]int, s)
+	wi := 0
+	for remaining := len(workers); remaining > 0; {
+		progressed := false
+		for _, si := range order {
+			if len(pools[si]) < sizes[si] && wi < len(workers) {
+				pools[si] = append(pools[si], workers[wi])
+				wi++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return pools
+}
+
+// UniformPools deals workers round-robin into equal pools, the uncalibrated
+// baseline for PoolsByDemand.
+func UniformPools(workers []int, stages int) [][]int {
+	if stages <= 0 {
+		return nil
+	}
+	if len(workers) < stages {
+		panic(fmt.Sprintf("compose: %d workers for %d stages", len(workers), stages))
+	}
+	pools := make([][]int, stages)
+	for i, w := range workers {
+		pools[i%stages] = append(pools[i%stages], w)
+	}
+	return pools
+}

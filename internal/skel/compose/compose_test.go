@@ -1,0 +1,315 @@
+package compose
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/vsim"
+)
+
+func gridPF(t *testing.T, specs []grid.NodeSpec) (*platform.GridPlatform, *rt.Sim) {
+	t.Helper()
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	g, err := grid.New(env, grid.Config{Nodes: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.NewGridPlatform(sim, g, 0, 1), sim
+}
+
+func equalSpecs(n int, speed float64) []grid.NodeSpec {
+	specs := make([]grid.NodeSpec, n)
+	for i := range specs {
+		specs[i] = grid.NodeSpec{BaseSpeed: speed}
+	}
+	return specs
+}
+
+func constCost(c float64) func(int) float64 { return func(int) float64 { return c } }
+
+func TestPipeOfFarmsDeliversAllItems(t *testing.T) {
+	pf, sim := gridPF(t, equalSpecs(4, 10))
+	stages := []Stage{
+		{Name: "a", Pool: []int{0, 1}, Cost: constCost(1)},
+		{Name: "b", Pool: []int{2, 3}, Cost: constCost(1)},
+	}
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, stages, 50, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 50 {
+		t.Fatalf("items = %d, want 50", rep.Items)
+	}
+	seen := make(map[int]bool)
+	for _, o := range rep.Outputs {
+		if seen[o.ID] {
+			t.Fatalf("item %d delivered twice", o.ID)
+		}
+		seen[o.ID] = true
+	}
+	if rep.Lost != 0 || rep.Failures != 0 {
+		t.Errorf("clean run: %+v", rep)
+	}
+}
+
+func TestPipeOfFarmsFarmedStageRelievesBottleneck(t *testing.T) {
+	// Stage b costs 4× stage a. With one worker each, b binds the pipe;
+	// giving b three workers must cut the makespan by roughly the pool size.
+	const items = 60
+	run := func(poolB []int) time.Duration {
+		pf, sim := gridPF(t, equalSpecs(4, 10))
+		stages := []Stage{
+			{Name: "a", Pool: []int{0}, Cost: constCost(1)},
+			{Name: "b", Pool: poolB, Cost: constCost(4)},
+		}
+		var rep Report
+		sim.Go("root", func(c rt.Ctx) {
+			rep = Run(pf, c, stages, items, Options{BufSize: 4})
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Items != items {
+			t.Fatalf("items = %d", rep.Items)
+		}
+		return rep.Makespan
+	}
+	narrow := run([]int{1})
+	wide := run([]int{1, 2, 3})
+	if wide >= narrow*2/5 {
+		t.Errorf("3-worker pool %v should be ≲ 40%% of 1-worker %v", wide, narrow)
+	}
+}
+
+func TestPipeOfFarmsValuesFlowThroughLocal(t *testing.T) {
+	l := rt.NewLocal()
+	pf := platform.NewLocalPlatform(l, 4)
+	stages := []Stage{
+		{Name: "double", Pool: []int{0, 1}, Fn: func(v any) any { return v.(int) * 2 }},
+		{Name: "inc", Pool: []int{2, 3}, Fn: func(v any) any { return v.(int) + 1 }},
+	}
+	var rep Report
+	l.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, stages, 20, Options{})
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 20 {
+		t.Fatalf("items = %d", rep.Items)
+	}
+	for _, o := range rep.Outputs {
+		if want := o.ID*2 + 1; o.Value.(int) != want {
+			t.Errorf("item %d: value %v, want %d", o.ID, o.Value, want)
+		}
+	}
+}
+
+func TestPipeOfFarmsSurvivesPoolMemberCrash(t *testing.T) {
+	specs := equalSpecs(4, 10)
+	specs[1].FailAt = 2 * time.Second
+	pf, sim := gridPF(t, specs)
+	stages := []Stage{
+		{Name: "a", Pool: []int{0, 1}, Cost: constCost(1)},
+		{Name: "b", Pool: []int{2, 3}, Cost: constCost(1)},
+	}
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, stages, 100, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 100 {
+		t.Fatalf("items = %d; the surviving pool member must finish", rep.Items)
+	}
+	if rep.Failures == 0 {
+		t.Error("the crash should be counted")
+	}
+	if rep.Lost != 0 {
+		t.Errorf("lost = %d, want 0 (a sibling survived)", rep.Lost)
+	}
+}
+
+func TestPipeOfFarmsWholePoolDeadLosesItems(t *testing.T) {
+	specs := equalSpecs(2, 10)
+	specs[1].FailAt = time.Second
+	pf, sim := gridPF(t, specs)
+	stages := []Stage{
+		{Name: "a", Pool: []int{0}, Cost: constCost(0.1)},
+		{Name: "b", Pool: []int{1}, Cost: constCost(0.1)},
+	}
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, stages, 200, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items+rep.Lost != 200 {
+		t.Errorf("items %d + lost %d != 200", rep.Items, rep.Lost)
+	}
+	if rep.Lost == 0 {
+		t.Error("a dead single-member pool must lose items")
+	}
+}
+
+func TestPipeOfFarmsSingleStageIsAFarm(t *testing.T) {
+	pf, sim := gridPF(t, equalSpecs(3, 10))
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, []Stage{{Name: "only", Pool: []int{0, 1, 2}, Cost: constCost(1)}}, 30, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 30 {
+		t.Fatalf("items = %d", rep.Items)
+	}
+	// Demand-driven: all three pool members should have worked.
+	for w := 0; w < 3; w++ {
+		if rep.ItemsByWorker[w] == 0 {
+			t.Errorf("worker %d idle in a single-stage farm", w)
+		}
+	}
+}
+
+func TestPipeOfFarmsEmptyStages(t *testing.T) {
+	pf, sim := gridPF(t, equalSpecs(1, 10))
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, nil, 10, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 0 {
+		t.Errorf("no stages should deliver nothing: %+v", rep)
+	}
+}
+
+func TestPipeOfFarmsZeroItems(t *testing.T) {
+	pf, sim := gridPF(t, equalSpecs(2, 10))
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, []Stage{
+			{Name: "a", Pool: []int{0}},
+			{Name: "b", Pool: []int{1}},
+		}, 0, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 0 || rep.Makespan != 0 {
+		t.Errorf("zero items: %+v", rep)
+	}
+}
+
+// --- Pool construction ---------------------------------------------------
+
+func TestPoolsByDemandProportions(t *testing.T) {
+	workers := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	demands := []float64{1, 3} // stage 1 is 3× as demanding
+	pools := PoolsByDemand(workers, demands)
+	if len(pools) != 2 {
+		t.Fatalf("pools = %v", pools)
+	}
+	if len(pools[0]) != 2 || len(pools[1]) != 6 {
+		t.Errorf("pool sizes = %d/%d, want 2/6", len(pools[0]), len(pools[1]))
+	}
+	// The single fittest worker (index 0 of the ranking) must serve the
+	// most demanding stage.
+	if pools[1][0] != 0 {
+		t.Errorf("fittest worker not on the hottest stage: %v", pools)
+	}
+}
+
+func TestPoolsByDemandEveryStageGetsOne(t *testing.T) {
+	pools := PoolsByDemand([]int{5, 6, 7}, []float64{0, 0, 100})
+	for i, p := range pools {
+		if len(p) == 0 {
+			t.Errorf("stage %d has an empty pool: %v", i, pools)
+		}
+	}
+}
+
+func TestPoolsByDemandPanicsOnTooFewWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	PoolsByDemand([]int{1}, []float64{1, 1})
+}
+
+func TestUniformPoolsDealRoundRobin(t *testing.T) {
+	pools := UniformPools([]int{0, 1, 2, 3, 4}, 2)
+	if len(pools[0]) != 3 || len(pools[1]) != 2 {
+		t.Errorf("pools = %v", pools)
+	}
+}
+
+// TestPoolsConservationProperty: every worker lands in exactly one pool,
+// and every stage pool is non-empty, for arbitrary demand vectors.
+func TestPoolsConservationProperty(t *testing.T) {
+	f := func(nWorkers, nStages uint8, seeds []uint8) bool {
+		s := int(nStages)%6 + 1
+		w := s + int(nWorkers)%20
+		workers := make([]int, w)
+		for i := range workers {
+			workers[i] = i
+		}
+		demands := make([]float64, s)
+		for i := range demands {
+			d := 0.0
+			if len(seeds) > 0 {
+				d = float64(seeds[i%len(seeds)] % 10)
+			}
+			demands[i] = d
+		}
+		pools := PoolsByDemand(workers, demands)
+		seen := make(map[int]bool)
+		total := 0
+		for _, p := range pools {
+			if len(p) == 0 {
+				return false
+			}
+			for _, id := range p {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+				total++
+			}
+		}
+		return total == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeOfFarmsHeterogeneousPoolPullsByFitness(t *testing.T) {
+	// Within one pool, the 4× faster node should do ~4× the items.
+	specs := []grid.NodeSpec{{BaseSpeed: 40}, {BaseSpeed: 10}}
+	pf, sim := gridPF(t, specs)
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, []Stage{{Name: "only", Pool: []int{0, 1}, Cost: constCost(1)}}, 100, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := rep.ItemsByWorker[0], rep.ItemsByWorker[1]
+	if fast < 3*slow {
+		t.Errorf("fast %d vs slow %d, want ≈4×", fast, slow)
+	}
+}

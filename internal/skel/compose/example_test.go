@@ -1,0 +1,57 @@
+package compose_test
+
+import (
+	"fmt"
+
+	"grasp/internal/grid"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/compose"
+	"grasp/internal/vsim"
+)
+
+// ExampleRun builds a two-stage pipe-of-farms where the second stage is 3×
+// as costly and therefore gets three of the four workers.
+func ExampleRun() {
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	specs := make([]grid.NodeSpec, 4)
+	for i := range specs {
+		specs[i] = grid.NodeSpec{BaseSpeed: 10}
+	}
+	g, err := grid.New(env, grid.Config{Nodes: specs})
+	if err != nil {
+		panic(err)
+	}
+	pf := platform.NewGridPlatform(sim, g, 0, 1)
+
+	pools := compose.PoolsByDemand([]int{0, 1, 2, 3}, []float64{1, 3})
+	stages := []compose.Stage{
+		{Name: "light", Pool: pools[0], Cost: func(int) float64 { return 1 }},
+		{Name: "heavy", Pool: pools[1], Cost: func(int) float64 { return 3 }},
+	}
+
+	var rep compose.Report
+	sim.Go("main", func(c rt.Ctx) {
+		rep = compose.Run(pf, c, stages, 30, compose.Options{BufSize: 4})
+	})
+	if err := sim.Run(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("pools %d/%d delivered %d items\n", len(pools[0]), len(pools[1]), rep.Items)
+	// Output:
+	// pools 1/3 delivered 30 items
+}
+
+// ExamplePoolsByDemand splits a ranked worker list across stages in
+// proportion to their service demands.
+func ExamplePoolsByDemand() {
+	ranked := []int{4, 2, 0, 1, 3, 5} // fittest first, from Algorithm 1
+	pools := compose.PoolsByDemand(ranked, []float64{1, 2})
+	fmt.Println(len(pools[0]), len(pools[1]))
+	fmt.Println("hottest stage gets the fittest worker:", pools[1][0])
+	// Output:
+	// 2 4
+	// hottest stage gets the fittest worker: 4
+}

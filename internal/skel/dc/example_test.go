@@ -1,0 +1,56 @@
+package dc_test
+
+import (
+	"fmt"
+	"sort"
+
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/dc"
+)
+
+// ExampleRun sorts a slice with the divide-and-conquer skeleton on the
+// local runtime: divide at the midpoint, sort small leaves directly, merge
+// upward.
+func ExampleRun() {
+	op := dc.Op{
+		Divide: func(p any) []any {
+			s := p.([]int)
+			return []any{s[:len(s)/2], s[len(s)/2:]}
+		},
+		Indivisible: dc.SizeGrain(func(p any) int { return len(p.([]int)) }, 4),
+		Base: func(p any) any {
+			s := append([]int(nil), p.([]int)...)
+			sort.Ints(s)
+			return s
+		},
+		Combine: func(subs []any) any {
+			a, b := subs[0].([]int), subs[1].([]int)
+			out := make([]int, 0, len(a)+len(b))
+			for len(a) > 0 && len(b) > 0 {
+				if a[0] <= b[0] {
+					out, a = append(out, a[0]), a[1:]
+				} else {
+					out, b = append(out, b[0]), b[1:]
+				}
+			}
+			return append(append(out, a...), b...)
+		},
+	}
+
+	l := rt.NewLocal()
+	pf := platform.NewLocalPlatform(l, 2)
+	input := []int{9, 4, 7, 1, 8, 2, 6, 3, 5, 0}
+
+	var rep dc.Report
+	l.Go("main", func(c rt.Ctx) {
+		rep = dc.Run(pf, c, input, op, dc.Options{})
+	})
+	if err := l.Run(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%v (leaves=%d combines=%d)\n", rep.Value, rep.Leaves, rep.Combines)
+	// Output:
+	// [0 1 2 3 4 5 6 7 8 9] (leaves=4 combines=3)
+}

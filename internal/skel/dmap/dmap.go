@@ -1,0 +1,445 @@
+// Package dmap implements the data-parallel map ("deal") algorithmic
+// skeleton: the task population is decomposed up front into one contiguous
+// block per worker and scattered in a single round-trip, in contrast to the
+// farm's per-request dispatch.
+//
+// The skeleton's intrinsic properties, in GRASP terms, are
+//
+//   - minimal dispatch traffic: one scatter per worker per wave, so the
+//     farmer round-trips the granularity experiments count collapse to P;
+//   - coarse adaptation granularity: once a block is scattered it cannot be
+//     rebalanced, so decomposition quality is decided by the weights the
+//     calibration phase supplies.
+//
+// Adaptivity therefore happens *between* waves: Options.Waves splits the
+// population into successive decomposition rounds, each wave's observed
+// per-worker throughput re-weights the next (an EWMA blend), and a
+// monitor.Detector observing normalised task times implements Algorithm 2's
+// threshold rule — on breach the remaining waves are returned to the caller
+// so the GRASP core can recalibrate, exactly as the farm does.
+//
+// Workers that crash mid-block (grid.ErrNodeFailed) lose the rest of their
+// block; the lost tasks are re-queued into the next wave (or returned in
+// Remaining on the last one) and the worker is excluded from later waves.
+package dmap
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+	"grasp/internal/trace"
+)
+
+// Options configures a map run.
+type Options struct {
+	// Workers are the chosen worker indices (default: all platform workers).
+	Workers []int
+	// Weights are initial decomposition weights per worker, typically the
+	// calibrated speed shares (default: uniform).
+	Weights map[int]float64
+	// Waves is the number of successive decomposition rounds (default 1:
+	// a fully static single-scatter map).
+	Waves int
+	// Alpha is the EWMA blend factor for throughput-derived re-weighting in
+	// (0, 1]; 0 defaults to 0.5. Higher values trust the latest wave more.
+	Alpha float64
+	// Detector observes normalised task times and, on breach, stops the map
+	// after the current wave (optional).
+	Detector *monitor.Detector
+	// NormCost, when positive, normalises observed task times by task cost
+	// before feeding the detector (see farm.Options.NormCost).
+	NormCost float64
+	// Log receives dispatch/complete/threshold events (optional).
+	Log *trace.Log
+	// OnResult is invoked at the master for every completed task (optional).
+	OnResult func(platform.Result)
+}
+
+// Report is the outcome of a map run.
+type Report struct {
+	// Results holds one entry per executed task, in completion order.
+	Results []platform.Result
+	// Remaining are tasks never executed: the tail waves after a detector
+	// breach plus any tasks lost to crashes on the final wave.
+	Remaining []platform.Task
+	// Breached reports whether the detector triggered.
+	Breached bool
+	// BreachStat is the statistic that crossed the threshold.
+	BreachStat time.Duration
+	// Makespan is the time from map start to the last completion.
+	Makespan time.Duration
+	// BusyByWorker sums execution time per worker index.
+	BusyByWorker map[int]time.Duration
+	// TasksByWorker counts tasks per worker index.
+	TasksByWorker map[int]int
+	// Scatters counts block dispatches (one per live worker per wave) — the
+	// deal skeleton's whole dispatch traffic.
+	Scatters int
+	// WavesRun counts decomposition rounds actually executed.
+	WavesRun int
+	// WaveImbalance records, per executed wave, max/mean worker busy time
+	// minus one (0 = perfectly balanced).
+	WaveImbalance []float64
+	// FinalWeights are the decomposition weights after the last executed
+	// wave's re-weighting (nil when a single wave ran with no feedback).
+	FinalWeights map[int]float64
+	// Failures counts executions lost to worker crashes.
+	Failures int
+	// DeadWorkers lists workers that crashed during the run, in detection
+	// order.
+	DeadWorkers []int
+}
+
+// blockOutcome is what one worker reports back after processing its block.
+type blockOutcome struct {
+	worker   int
+	busy     time.Duration
+	done     int
+	lost     []platform.Task // tasks not executed because the worker crashed
+	executed float64         // summed cost of completed tasks
+}
+
+// gatherMsg multiplexes per-task results and end-of-block outcomes onto the
+// master's gather channel.
+type gatherMsg struct {
+	isOutcome bool
+	res       platform.Result
+	out       blockOutcome
+}
+
+// Run executes tasks with block decomposition from within process c,
+// blocking until all waves complete, the detector stops the map, or every
+// worker has died.
+func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Report {
+	workers := opts.Workers
+	if len(workers) == 0 {
+		workers = make([]int, pf.Size())
+		for i := range workers {
+			workers[i] = i
+		}
+	}
+	waves := opts.Waves
+	if waves < 1 {
+		waves = 1
+	}
+	alpha := opts.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	weights := normalisedWeights(workers, opts.Weights)
+
+	start := c.Now()
+	rep := Report{
+		BusyByWorker:  make(map[int]time.Duration, len(workers)),
+		TasksByWorker: make(map[int]int, len(workers)),
+	}
+	runtime := pf.Runtime()
+	var lastCompletion time.Duration
+
+	dead := make(map[int]bool)
+	queue := tasks
+	for wave := 0; wave < waves; wave++ {
+		if len(queue) == 0 {
+			break
+		}
+		live := liveWorkers(workers, dead)
+		if len(live) == 0 {
+			break
+		}
+		// The wave takes an even share of what remains, so later waves can
+		// still rebalance; the final wave drains the queue.
+		take := waveSize(len(queue), waves-wave)
+		waveTasks := queue[:take]
+		queue = queue[take:]
+
+		part := sched.WeightedBlocks(len(waveTasks), weightSlice(live, weights))
+		gather := runtime.NewChan(fmt.Sprintf("dmap.gather.%d", wave), len(live)*2)
+		for i, w := range live {
+			w := w
+			block := indexTasks(waveTasks, part[i])
+			rep.Scatters++
+			if opts.Log != nil {
+				for _, t := range block {
+					opts.Log.Append(trace.Event{
+						At: c.Now(), Kind: trace.KindDispatch,
+						Node: pf.WorkerName(w), Task: t.ID,
+					})
+				}
+			}
+			c.Go(fmt.Sprintf("dmap.worker.%s.w%d", pf.WorkerName(w), wave), func(cc rt.Ctx) {
+				out := blockOutcome{worker: w}
+				blockStart := cc.Now()
+				for bi, t := range block {
+					res := pf.Exec(cc, w, t)
+					if res.Failed() {
+						// The rest of the block dies with the node. The task
+						// whose execution failed is lost work too.
+						out.lost = append(out.lost, block[bi:]...)
+						break
+					}
+					out.done++
+					out.executed += t.Cost
+					gather.Send(cc, gatherMsg{res: res})
+				}
+				out.busy = cc.Now() - blockStart
+				gather.Send(cc, gatherMsg{isOutcome: true, out: out})
+			})
+		}
+
+		// Gather: per-task results stream in; the wave ends when every live
+		// worker has reported its block outcome.
+		outcomes := make([]blockOutcome, 0, len(live))
+		for len(outcomes) < len(live) {
+			v, ok := gather.Recv(c)
+			if !ok {
+				break
+			}
+			m := v.(gatherMsg)
+			if m.isOutcome {
+				outcomes = append(outcomes, m.out)
+				continue
+			}
+			res := m.res
+			rep.Results = append(rep.Results, res)
+			rep.BusyByWorker[res.Worker] += res.Time
+			rep.TasksByWorker[res.Worker]++
+			lastCompletion = c.Now()
+			if opts.Log != nil {
+				opts.Log.Append(trace.Event{
+					At: c.Now(), Kind: trace.KindComplete,
+					Node: pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
+				})
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(res)
+			}
+			if opts.Detector != nil && !rep.Breached {
+				opts.Detector.Observe(normalise(res, opts.NormCost))
+				if breached, stat := opts.Detector.Breached(); breached {
+					rep.Breached = true
+					rep.BreachStat = stat
+					if opts.Log != nil {
+						opts.Log.Append(trace.Event{
+							At: c.Now(), Kind: trace.KindThreshold,
+							Value: opts.Detector.Ratio(),
+							Msg:   fmt.Sprintf("map stop after wave %d: %s stat %v", wave, opts.Detector.Rule, stat),
+						})
+					}
+				}
+			}
+		}
+		rep.WavesRun++
+		rep.WaveImbalance = append(rep.WaveImbalance, imbalance(outcomes))
+
+		// Crashes: requeue lost tasks at the head of the next wave and retire
+		// the dead workers.
+		for _, out := range outcomes {
+			if len(out.lost) == 0 {
+				continue
+			}
+			rep.Failures += len(out.lost)
+			queue = append(append([]platform.Task(nil), out.lost...), queue...)
+			if !dead[out.worker] {
+				dead[out.worker] = true
+				rep.DeadWorkers = append(rep.DeadWorkers, out.worker)
+				if opts.Log != nil {
+					opts.Log.Append(trace.Event{
+						At: c.Now(), Kind: trace.KindNote,
+						Node: pf.WorkerName(out.worker),
+						Msg:  fmt.Sprintf("worker %s failed; %d tasks re-queued", pf.WorkerName(out.worker), len(out.lost)),
+					})
+				}
+			}
+		}
+
+		if rep.Breached {
+			break
+		}
+		// Re-weight the next wave by observed throughput: the per-worker rate
+		// (cost per second) this wave, EWMA-blended into the prior weight so
+		// one noisy wave cannot capsize the decomposition.
+		if wave < waves-1 {
+			weights = reweight(weights, outcomes, alpha)
+			rep.FinalWeights = copyWeights(weights)
+		}
+	}
+
+	rep.Remaining = queue
+	if len(rep.Results) > 0 {
+		rep.Makespan = lastCompletion - start
+	}
+	return rep
+}
+
+// RunStatic executes tasks as a single-wave map with the given weights: the
+// non-adaptive deal baseline (equivalent to Run with Waves=1 and no
+// detector, provided for symmetry with farm.RunStatic).
+func RunStatic(pf platform.Platform, c rt.Ctx, tasks []platform.Task, weights map[int]float64, workers []int, log *trace.Log) Report {
+	return Run(pf, c, tasks, Options{
+		Workers: workers,
+		Weights: weights,
+		Waves:   1,
+		Log:     log,
+	})
+}
+
+// waveSize returns how many tasks the next wave takes when wavesLeft rounds
+// (including this one) must drain n tasks: the ceiling share, so the final
+// wave is never larger than the others.
+func waveSize(n, wavesLeft int) int {
+	if wavesLeft <= 1 {
+		return n
+	}
+	size := (n + wavesLeft - 1) / wavesLeft
+	if size < 1 {
+		size = 1
+	}
+	if size > n {
+		size = n
+	}
+	return size
+}
+
+// liveWorkers filters out dead workers, preserving order.
+func liveWorkers(workers []int, dead map[int]bool) []int {
+	out := make([]int, 0, len(workers))
+	for _, w := range workers {
+		if !dead[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// normalisedWeights builds a positive weight per worker summing to 1.
+func normalisedWeights(workers []int, in map[int]float64) map[int]float64 {
+	w := make(map[int]float64, len(workers))
+	var total float64
+	for _, id := range workers {
+		v := 0.0
+		if in != nil {
+			v = in[id]
+		}
+		if v < 0 {
+			v = 0
+		}
+		w[id] = v
+		total += v
+	}
+	if total <= 0 {
+		for _, id := range workers {
+			w[id] = 1 / float64(len(workers))
+		}
+		return w
+	}
+	for id := range w {
+		w[id] /= total
+	}
+	return w
+}
+
+// weightSlice projects the weight map onto the given worker order.
+func weightSlice(workers []int, w map[int]float64) []float64 {
+	out := make([]float64, len(workers))
+	for i, id := range workers {
+		out[i] = w[id]
+	}
+	return out
+}
+
+// indexTasks selects tasks by index list.
+func indexTasks(tasks []platform.Task, idxs []int) []platform.Task {
+	out := make([]platform.Task, len(idxs))
+	for i, ti := range idxs {
+		out[i] = tasks[ti]
+	}
+	return out
+}
+
+// imbalance computes max/mean busy − 1 over the wave's outcomes.
+func imbalance(outcomes []blockOutcome) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, o := range outcomes {
+		sum += o.busy
+		if o.busy > max {
+			max = o.busy
+		}
+	}
+	mean := float64(sum) / float64(len(outcomes))
+	if mean <= 0 {
+		return 0
+	}
+	return float64(max)/mean - 1
+}
+
+// reweight blends throughput-derived weights into the current ones. Workers
+// that executed nothing this wave (empty block, or died instantly) keep
+// their prior weight scaled into the new normalisation; dead workers are
+// naturally excluded on the next wave by liveWorkers.
+func reweight(prev map[int]float64, outcomes []blockOutcome, alpha float64) map[int]float64 {
+	rates := make(map[int]float64, len(outcomes))
+	var totalRate float64
+	for _, o := range outcomes {
+		if o.busy > 0 && o.executed > 0 {
+			r := o.executed / o.busy.Seconds()
+			rates[o.worker] = r
+			totalRate += r
+		}
+	}
+	next := make(map[int]float64, len(prev))
+	var total float64
+	for _, o := range outcomes {
+		w := o.worker
+		blended := prev[w]
+		if totalRate > 0 {
+			if r, ok := rates[w]; ok {
+				blended = alpha*(r/totalRate) + (1-alpha)*prev[w]
+			} else {
+				blended = (1 - alpha) * prev[w]
+			}
+		}
+		next[w] = blended
+		total += blended
+	}
+	if total <= 0 {
+		return normalisedWeights(keys(next), nil)
+	}
+	for w := range next {
+		next[w] /= total
+	}
+	return next
+}
+
+// copyWeights clones a weight map for the report.
+func copyWeights(w map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(w))
+	for k, v := range w {
+		out[k] = v
+	}
+	return out
+}
+
+// keys lists a weight map's workers.
+func keys(w map[int]float64) []int {
+	out := make([]int, 0, len(w))
+	for k := range w {
+		out = append(out, k)
+	}
+	return out
+}
+
+// normalise scales an observed task time to the reference cost (see
+// farm.normalise; duplicated to keep the skeleton packages independent).
+func normalise(res platform.Result, normCost float64) time.Duration {
+	if normCost <= 0 || res.Task.Cost <= 0 {
+		return res.Time
+	}
+	return time.Duration(float64(res.Time) * normCost / res.Task.Cost)
+}

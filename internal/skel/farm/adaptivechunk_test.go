@@ -1,0 +1,66 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+)
+
+func TestFarmAdaptiveChunkCutsTrafficOnFastNodes(t *testing.T) {
+	// Equal fast nodes, 0.1s tasks, 1s batch target: after the probe each
+	// request should carry ~10 tasks, collapsing round-trips versus Single
+	// without hurting the makespan materially.
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}})
+	var single, adaptive Report
+	sim.Go("root", func(c rt.Ctx) {
+		single = Run(pf, c, fixedTasks(200, 1), Options{Chunk: sched.Single{}})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pf2, sim2 := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}})
+	sim2.Go("root", func(c rt.Ctx) {
+		adaptive = Run(pf2, c, fixedTasks(200, 1), Options{Chunk: sched.NewAdaptiveChunk(time.Second)})
+	})
+	if err := sim2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive.Results) != 200 {
+		t.Fatalf("results = %d", len(adaptive.Results))
+	}
+	if adaptive.Requests*3 > single.Requests {
+		t.Errorf("adaptive %d round-trips should be ≪ single's %d", adaptive.Requests, single.Requests)
+	}
+	if adaptive.Makespan > single.Makespan*5/4 {
+		t.Errorf("adaptive %v vs single %v: batching should not cost >25%%", adaptive.Makespan, single.Makespan)
+	}
+}
+
+func TestFarmAdaptiveChunkRebalancesUnderPressure(t *testing.T) {
+	// Node 1 collapses to 10% speed mid-run: its EWMA rises, its chunks
+	// shrink, and the fast node ends up with the lion's share of the tasks
+	// even though both started with equal batches.
+	specs := []grid.NodeSpec{
+		{BaseSpeed: 10},
+		{BaseSpeed: 10, Load: loadgen.NewStep(2*time.Second, 0, 0.9)},
+	}
+	pf, sim := gridPF(t, specs)
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(300, 1), Options{Chunk: sched.NewAdaptiveChunk(time.Second)})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 300 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	if rep.TasksByWorker[0] < 2*rep.TasksByWorker[1] {
+		t.Errorf("fast node %d vs pressured node %d tasks; chunks should have shifted",
+			rep.TasksByWorker[0], rep.TasksByWorker[1])
+	}
+}

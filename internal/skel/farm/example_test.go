@@ -1,0 +1,46 @@
+package farm_test
+
+import (
+	"fmt"
+
+	"grasp/internal/grid"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/farm"
+	"grasp/internal/vsim"
+)
+
+// ExampleRun farms 40 unit tasks over a two-node simulated grid whose
+// second node is 3× faster; demand-driven dispatch gives it ~3× the tasks,
+// and the virtual-time makespan is exactly reproducible.
+func ExampleRun() {
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	g, err := grid.New(env, grid.Config{Nodes: []grid.NodeSpec{
+		{BaseSpeed: 10}, {BaseSpeed: 30},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	pf := platform.NewGridPlatform(sim, g, 0, 1)
+
+	tasks := make([]platform.Task, 40)
+	for i := range tasks {
+		tasks[i] = platform.Task{ID: i, Cost: 1}
+	}
+
+	var rep farm.Report
+	sim.Go("main", func(c rt.Ctx) {
+		rep = farm.Run(pf, c, tasks, farm.Options{})
+	})
+	if err := sim.Run(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("completed %d tasks in %v\n", len(rep.Results), rep.Makespan)
+	fmt.Printf("slow node: %d tasks, fast node: %d tasks\n",
+		rep.TasksByWorker[0], rep.TasksByWorker[1])
+	// Output:
+	// completed 40 tasks in 1.00000002s
+	// slow node: 10 tasks, fast node: 30 tasks
+}

@@ -1,0 +1,158 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+)
+
+func TestFarmSurvivesWorkerCrash(t *testing.T) {
+	// Worker 0 dies at t=1.05s, mid-run; the farm must re-dispatch its lost
+	// task and complete everything on worker 1.
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10, FailAt: 1050 * time.Millisecond},
+		{BaseSpeed: 10},
+	})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(30, 1), Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 30 {
+		t.Fatalf("results = %d, want 30 (crash must not lose tasks)", len(rep.Results))
+	}
+	if rep.Failures == 0 {
+		t.Error("expected recorded failures")
+	}
+	if len(rep.DeadWorkers) != 1 || rep.DeadWorkers[0] != 0 {
+		t.Errorf("DeadWorkers = %v", rep.DeadWorkers)
+	}
+	// No duplicates despite re-dispatch.
+	seen := make(map[int]int)
+	for _, r := range rep.Results {
+		seen[r.Task.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d completed %d times", id, n)
+		}
+	}
+	// Dead worker receives nothing after death.
+	if rep.TasksByWorker[0] > 25 {
+		t.Errorf("dead worker kept receiving: %v", rep.TasksByWorker)
+	}
+}
+
+func TestFarmAllWorkersDead(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10, FailAt: time.Second},
+		{BaseSpeed: 10, FailAt: time.Second},
+	})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(50, 1), Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results)+len(rep.Remaining) != 50 {
+		t.Errorf("conservation violated: %d done + %d remaining",
+			len(rep.Results), len(rep.Remaining))
+	}
+	if len(rep.Remaining) == 0 {
+		t.Error("dead platform should leave remaining tasks")
+	}
+	if len(rep.DeadWorkers) != 2 {
+		t.Errorf("DeadWorkers = %v", rep.DeadWorkers)
+	}
+}
+
+func TestFarmCrashDuringDetectorRun(t *testing.T) {
+	// A crash and a detector must coexist: failures must not feed the
+	// detector (a lost task has no meaningful duration).
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10, FailAt: 2 * time.Second},
+		{BaseSpeed: 10},
+	})
+	det := newTestDetector(10 * time.Second) // generous: should never breach
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(30, 1), Options{Detector: det})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breached {
+		t.Error("failures must not breach a generous detector")
+	}
+	if len(rep.Results) != 30 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+}
+
+func TestStaticFarmLosesTasksOnCrash(t *testing.T) {
+	// The non-fault-tolerant baseline: a static partition simply loses the
+	// dead worker's remaining tasks — the contrast the adaptive farm fixes.
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10, FailAt: time.Second},
+		{BaseSpeed: 10},
+	})
+	tasks := fixedTasks(20, 1)
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = RunStatic(pf, c, tasks, sched.Blocks(20, 2), nil, nil)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures == 0 || len(rep.Remaining) == 0 {
+		t.Errorf("static farm should lose tasks: failures=%d remaining=%d",
+			rep.Failures, len(rep.Remaining))
+	}
+	if len(rep.Results)+len(rep.Remaining) != 20 {
+		t.Error("conservation violated")
+	}
+	if len(rep.DeadWorkers) != 1 {
+		t.Errorf("DeadWorkers = %v", rep.DeadWorkers)
+	}
+}
+
+func TestFarmRetryServedBeforeFreshTasks(t *testing.T) {
+	// After worker 0 dies holding task k, task k must be re-dispatched
+	// promptly (before the remaining fresh tail finishes).
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 1, FailAt: 500 * time.Millisecond}, // dies during task 0
+		{BaseSpeed: 10},
+	})
+	var order []int
+	sim.Go("root", func(c rt.Ctx) {
+		Run(pf, c, fixedTasks(10, 1), Options{
+			OnResult: func(r platform.Result) { order = append(order, r.Task.ID) },
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 {
+		t.Fatalf("completed %d", len(order))
+	}
+	// Task 0 (the casualty) must not be the last completion.
+	if order[len(order)-1] == 0 {
+		t.Error("re-queued task served last; retry queue not prioritised")
+	}
+}
+
+// newTestDetector builds a detector with a window suited to small farms.
+func newTestDetector(z time.Duration) *monitor.Detector {
+	d := monitor.NewDetector(z)
+	d.Window = 4
+	d.MinSamples = 2
+	return d
+}

@@ -1,0 +1,349 @@
+// Package farm implements the task-farm algorithmic skeleton (the paper's
+// first skeleton, detailed in its ref [6], "Self-adaptive skeletal task farm
+// for computational grids").
+//
+// The farm is demand-driven: a farmer process hands chunks of tasks to
+// worker processes as they ask for more, so fast (or lightly loaded) nodes
+// naturally pull more work. Granularity is controlled by a sched.ChunkPolicy
+// and dispatch shares by calibrated weights. A monitor.Detector observing
+// per-task times implements Algorithm 2's threshold rule; on breach the farm
+// stops dispatching and returns the unexecuted tail so the GRASP core can
+// recalibrate and resume — "feeding back to the calibration phase".
+//
+// RunStatic provides the non-adaptive baseline the experiments compare
+// against: a fixed task-to-node partition decided up front.
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+	"grasp/internal/trace"
+)
+
+// Options configures a farm run.
+type Options struct {
+	// Workers are the chosen worker indices (default: all platform workers).
+	Workers []int
+	// Chunk is the granularity policy (default sched.Single).
+	Chunk sched.ChunkPolicy
+	// Weights are dispatch weights per worker from calibration (optional).
+	Weights map[int]float64
+	// Detector observes normalised task times and triggers the adaptive
+	// stop (optional: nil farms never stop early).
+	Detector *monitor.Detector
+	// NormCost, when positive, normalises observed task times by task cost
+	// before feeding the detector: observed · NormCost / task.Cost. This
+	// keeps the threshold meaningful for irregular workloads.
+	NormCost float64
+	// Log receives dispatch/complete/threshold events (optional).
+	Log *trace.Log
+	// OnResult is invoked at the farmer for every completed task (optional).
+	OnResult func(platform.Result)
+	// Stop is an external stop predicate, polled at every farmer event
+	// (optional). When it returns true the farm stops dispatching exactly
+	// as on a detector breach — the hook proactive monitors (forecasted
+	// pressure, deadline watchdogs) use to interrupt execution before task
+	// times themselves degrade.
+	Stop func() bool
+}
+
+// Report is the outcome of a farm run.
+type Report struct {
+	// Results holds one entry per executed task, in completion order.
+	Results []platform.Result
+	// Remaining are the tasks never dispatched because the detector
+	// triggered. Empty on a clean run.
+	Remaining []platform.Task
+	// Breached reports whether the detector triggered.
+	Breached bool
+	// BreachStat is the statistic that crossed the threshold.
+	BreachStat time.Duration
+	// Makespan is the virtual/real time from farm start to the last
+	// completion.
+	Makespan time.Duration
+	// BusyByWorker sums execution time per worker index.
+	BusyByWorker map[int]time.Duration
+	// TasksByWorker counts tasks per worker index.
+	TasksByWorker map[int]int
+	// Requests counts farmer round-trips (worker chunk requests) — the
+	// dispatch-traffic cost a coarser chunk policy amortises.
+	Requests int
+	// Failures counts executions lost to worker crashes; each failed task
+	// was re-queued and (unless the farm stopped) re-executed elsewhere.
+	Failures int
+	// DeadWorkers lists workers that crashed during the run, in detection
+	// order.
+	DeadWorkers []int
+}
+
+// message is the farmer's multiplexed inbox entry.
+type message struct {
+	kind   msgKind
+	worker int
+	reply  rt.Chan         // request: where to send the chunk
+	result platform.Result // result
+}
+
+type msgKind int
+
+const (
+	msgRequest msgKind = iota
+	msgResult
+	msgDone
+)
+
+// Run executes tasks on the platform with demand-driven dispatch from
+// within process c, blocking until all work completes or the detector
+// stops the farm.
+func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Report {
+	workers := opts.Workers
+	if len(workers) == 0 {
+		workers = make([]int, pf.Size())
+		for i := range workers {
+			workers[i] = i
+		}
+	}
+	policy := opts.Chunk
+	if policy == nil {
+		policy = sched.Single{}
+	}
+	weight := func(w int) float64 {
+		if opts.Weights == nil {
+			return 1 / float64(len(workers))
+		}
+		return opts.Weights[w]
+	}
+
+	start := c.Now()
+	rep := Report{
+		BusyByWorker:  make(map[int]time.Duration, len(workers)),
+		TasksByWorker: make(map[int]int, len(workers)),
+	}
+	runtime := pf.Runtime()
+	inbox := runtime.NewChan("farm.inbox", len(workers)*2)
+
+	// Workers: request → execute chunk → stream results → repeat.
+	for _, w := range workers {
+		w := w
+		reply := runtime.NewChan(fmt.Sprintf("farm.reply.%d", w), 1)
+		c.Go(fmt.Sprintf("farm.worker.%s", pf.WorkerName(w)), func(cc rt.Ctx) {
+			for {
+				inbox.Send(cc, message{kind: msgRequest, worker: w, reply: reply})
+				v, ok := reply.Recv(cc)
+				if !ok {
+					break
+				}
+				chunk := v.([]platform.Task)
+				if len(chunk) == 0 {
+					break
+				}
+				for _, task := range chunk {
+					res := pf.Exec(cc, w, task)
+					inbox.Send(cc, message{kind: msgResult, worker: w, result: res})
+				}
+			}
+			inbox.Send(cc, message{kind: msgDone, worker: w})
+		})
+	}
+
+	// Farmer: multiplex requests and results until every worker has exited.
+	next := 0 // index of the first undispatched task
+	var retry []platform.Task
+	dead := make(map[int]bool)
+	stopped := false
+	live := len(workers)
+	var lastCompletion time.Duration
+	for live > 0 {
+		v, ok := inbox.Recv(c)
+		if !ok {
+			break
+		}
+		if !stopped && opts.Stop != nil && opts.Stop() {
+			stopped = true
+			rep.Breached = true
+			if opts.Log != nil {
+				opts.Log.Append(trace.Event{
+					At: c.Now(), Kind: trace.KindThreshold,
+					Msg: "farm stop: external stop predicate",
+				})
+			}
+		}
+		m := v.(message)
+		switch m.kind {
+		case msgRequest:
+			rep.Requests++
+			remaining := len(retry) + len(tasks) - next
+			if stopped || remaining == 0 || dead[m.worker] {
+				m.reply.Send(c, []platform.Task{})
+				continue
+			}
+			n := policy.Chunk(remaining, len(workers), weight(m.worker))
+			if wc, isWC := policy.(sched.WorkerChunker); isWC {
+				// Worker-aware policies (e.g. sched.AdaptiveChunk) size the
+				// chunk for the specific requester.
+				n = wc.ChunkFor(m.worker, remaining, len(workers), weight(m.worker))
+			}
+			chunk := make([]platform.Task, 0, n)
+			// Re-queued (failed) tasks are served first: their loss already
+			// cost one execution, so delaying them lengthens the tail.
+			for len(chunk) < n && len(retry) > 0 {
+				chunk = append(chunk, retry[0])
+				retry = retry[0:copy(retry, retry[1:])]
+			}
+			for len(chunk) < n && next < len(tasks) {
+				chunk = append(chunk, tasks[next])
+				next++
+			}
+			if opts.Log != nil {
+				for _, task := range chunk {
+					opts.Log.Append(trace.Event{
+						At: c.Now(), Kind: trace.KindDispatch,
+						Node: pf.WorkerName(m.worker), Task: task.ID,
+					})
+				}
+			}
+			m.reply.Send(c, chunk)
+		case msgResult:
+			res := m.result
+			if res.Failed() {
+				// The worker crashed mid-task: re-queue the task and stop
+				// feeding that worker.
+				rep.Failures++
+				retry = append(retry, res.Task)
+				if !dead[res.Worker] {
+					dead[res.Worker] = true
+					rep.DeadWorkers = append(rep.DeadWorkers, res.Worker)
+					if opts.Log != nil {
+						opts.Log.Append(trace.Event{
+							At: c.Now(), Kind: trace.KindNote,
+							Node: pf.WorkerName(res.Worker),
+							Msg:  fmt.Sprintf("worker %s failed; task %d re-queued", pf.WorkerName(res.Worker), res.Task.ID),
+						})
+					}
+				}
+				continue
+			}
+			rep.Results = append(rep.Results, res)
+			rep.BusyByWorker[res.Worker] += res.Time
+			rep.TasksByWorker[res.Worker]++
+			lastCompletion = c.Now()
+			if obs, isObs := policy.(sched.TimeObserver); isObs {
+				obs.ObserveTime(res.Worker, res.Time)
+			}
+			if opts.Log != nil {
+				opts.Log.Append(trace.Event{
+					At: c.Now(), Kind: trace.KindComplete,
+					Node: pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
+				})
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(res)
+			}
+			if opts.Detector != nil && !stopped {
+				opts.Detector.Observe(normalise(res, opts.NormCost))
+				if breached, stat := opts.Detector.Breached(); breached {
+					stopped = true
+					rep.Breached = true
+					rep.BreachStat = stat
+					if opts.Log != nil {
+						opts.Log.Append(trace.Event{
+							At: c.Now(), Kind: trace.KindThreshold,
+							Value: opts.Detector.Ratio(),
+							Msg:   fmt.Sprintf("farm stop: %s stat %v", opts.Detector.Rule, stat),
+						})
+					}
+				}
+			}
+		case msgDone:
+			live--
+		}
+	}
+	rep.Remaining = append(retry, tasks[next:]...)
+	if len(rep.Results) > 0 {
+		rep.Makespan = lastCompletion - start
+	}
+	return rep
+}
+
+// normalise scales an observed task time to the reference cost so the
+// detector compares like with like on irregular workloads.
+func normalise(res platform.Result, normCost float64) time.Duration {
+	if normCost <= 0 || res.Task.Cost <= 0 {
+		return res.Time
+	}
+	return time.Duration(float64(res.Time) * normCost / res.Task.Cost)
+}
+
+// RunStatic executes tasks under a fixed task-to-worker partition: the
+// non-adaptive baseline. partition[i] holds task indices for workers[i]
+// (or worker i when workers is nil). No monitoring, no early stop.
+func RunStatic(pf platform.Platform, c rt.Ctx, tasks []platform.Task, partition sched.Partition, workers []int, log *trace.Log) Report {
+	if len(workers) == 0 {
+		workers = make([]int, len(partition))
+		for i := range workers {
+			workers[i] = i
+		}
+	}
+	if len(workers) != len(partition) {
+		panic(fmt.Sprintf("farm: %d workers for %d partitions", len(workers), len(partition)))
+	}
+	start := c.Now()
+	rep := Report{
+		BusyByWorker:  make(map[int]time.Duration, len(workers)),
+		TasksByWorker: make(map[int]int, len(workers)),
+	}
+	runtime := pf.Runtime()
+	results := runtime.NewChan("farm.static.results", len(tasks)+1)
+
+	total := 0
+	for i, idxs := range partition {
+		w := workers[i]
+		mine := idxs
+		total += len(idxs)
+		c.Go(fmt.Sprintf("farm.static.%s", pf.WorkerName(w)), func(cc rt.Ctx) {
+			for _, ti := range mine {
+				res := pf.Exec(cc, w, tasks[ti])
+				results.Send(cc, res)
+			}
+		})
+	}
+	var lastCompletion time.Duration
+	dead := make(map[int]bool)
+	for i := 0; i < total; i++ {
+		v, ok := results.Recv(c)
+		if !ok {
+			break
+		}
+		res := v.(platform.Result)
+		if res.Failed() {
+			// The static farm has no re-dispatch: the task is simply lost,
+			// which is exactly the weakness the adaptive farm removes.
+			rep.Failures++
+			rep.Remaining = append(rep.Remaining, res.Task)
+			if !dead[res.Worker] {
+				dead[res.Worker] = true
+				rep.DeadWorkers = append(rep.DeadWorkers, res.Worker)
+			}
+			continue
+		}
+		rep.Results = append(rep.Results, res)
+		rep.BusyByWorker[res.Worker] += res.Time
+		rep.TasksByWorker[res.Worker]++
+		lastCompletion = c.Now()
+		if log != nil {
+			log.Append(trace.Event{
+				At: c.Now(), Kind: trace.KindComplete,
+				Node: pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
+			})
+		}
+	}
+	if len(rep.Results) > 0 {
+		rep.Makespan = lastCompletion - start
+	}
+	return rep
+}

@@ -1,0 +1,413 @@
+package farm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/loadgen"
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+	"grasp/internal/trace"
+	"grasp/internal/vsim"
+)
+
+func gridPF(t *testing.T, specs []grid.NodeSpec) (*platform.GridPlatform, *rt.Sim) {
+	t.Helper()
+	env := vsim.New()
+	sim := rt.NewSim(env)
+	g, err := grid.New(env, grid.Config{Nodes: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.NewGridPlatform(sim, g, 0, 1), sim
+}
+
+func fixedTasks(n int, cost float64) []platform.Task {
+	tasks := make([]platform.Task, n)
+	for i := range tasks {
+		tasks[i] = platform.Task{ID: i, Cost: cost}
+	}
+	return tasks
+}
+
+func TestFarmCompletesAllTasks(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(20, 1), Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 20 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+	if len(rep.Remaining) != 0 || rep.Breached {
+		t.Errorf("clean run should have no remaining/breach: %+v", rep)
+	}
+	// All task IDs present exactly once.
+	seen := make(map[int]bool)
+	for _, r := range rep.Results {
+		if seen[r.Task.ID] {
+			t.Fatalf("task %d executed twice", r.Task.ID)
+		}
+		seen[r.Task.ID] = true
+	}
+}
+
+func TestFarmDemandDrivenFavoursFastNode(t *testing.T) {
+	// 4× speed difference: the fast node should take ~4× the tasks.
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 40}, {BaseSpeed: 10}})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(100, 1), Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := rep.TasksByWorker[0], rep.TasksByWorker[1]
+	if fast < 3*slow {
+		t.Errorf("fast node did %d, slow %d; want ≈4×", fast, slow)
+	}
+}
+
+func TestFarmMakespanBeatsSingleNode(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}, {BaseSpeed: 10}, {BaseSpeed: 10}})
+	var parallel Report
+	sim.Go("root", func(c rt.Ctx) {
+		parallel = Run(pf, c, fixedTasks(40, 1), Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 40 tasks × 0.1s = 4s sequential; 4 workers → ≈1s.
+	if parallel.Makespan > 1500*time.Millisecond {
+		t.Errorf("makespan = %v, want ≈1s", parallel.Makespan)
+	}
+}
+
+func TestFarmWorkerSubset(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}, {BaseSpeed: 10}})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(10, 1), Options{Workers: []int{0, 2}})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksByWorker[1] != 0 {
+		t.Error("excluded worker received tasks")
+	}
+	if rep.TasksByWorker[0]+rep.TasksByWorker[2] != 10 {
+		t.Errorf("tasks by worker = %v", rep.TasksByWorker)
+	}
+}
+
+func TestFarmChunkPolicyApplied(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	log := trace.New()
+	sim.Go("root", func(c rt.Ctx) {
+		Run(pf, c, fixedTasks(10, 1), Options{Chunk: sched.FixedChunk{K: 5}, Log: log})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With chunks of 5, dispatches come in two bursts at the same virtual
+	// instant per chunk.
+	dispatches := log.Filter(trace.KindDispatch)
+	if len(dispatches) != 10 {
+		t.Fatalf("dispatch events = %d", len(dispatches))
+	}
+	t0 := dispatches[0].At
+	sameAsFirst := 0
+	for _, d := range dispatches {
+		if d.At == t0 {
+			sameAsFirst++
+		}
+	}
+	if sameAsFirst != 5 {
+		t.Errorf("first chunk size = %d, want 5", sameAsFirst)
+	}
+}
+
+func TestFarmDetectorStopsDispatch(t *testing.T) {
+	// Node speed collapses at t=1s; with Z=150ms(per task of cost 1 at
+	// speed 10 → 100ms nominal), min rule triggers and the farm stops.
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10, Load: loadgen.NewStep(time.Second, 0, 0.9)},
+	})
+	det := monitor.NewDetector(150 * time.Millisecond)
+	det.Window = 3
+	det.MinSamples = 3
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(100, 1), Options{Detector: det})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Breached {
+		t.Fatal("detector should have triggered")
+	}
+	if len(rep.Remaining) == 0 {
+		t.Error("breached farm should return undispatched tasks")
+	}
+	if len(rep.Results)+len(rep.Remaining) != 100 {
+		t.Errorf("results %d + remaining %d != 100", len(rep.Results), len(rep.Remaining))
+	}
+	if rep.BreachStat <= 150*time.Millisecond {
+		t.Errorf("breach stat = %v", rep.BreachStat)
+	}
+}
+
+func TestFarmDetectorRemainingPreservesOrder(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{
+		{BaseSpeed: 10, Load: loadgen.NewConstant(0.9)}, // 1s per task, Z=0.5s
+	})
+	det := monitor.NewDetector(500 * time.Millisecond)
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(5, 1), Options{Detector: det})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Breached {
+		t.Fatal("should breach immediately")
+	}
+	// Remaining must be the contiguous tail.
+	for i, task := range rep.Remaining {
+		if task.ID != len(rep.Results)+i {
+			t.Fatalf("remaining not contiguous: %v", rep.Remaining)
+		}
+	}
+}
+
+func TestFarmNormalisedDetector(t *testing.T) {
+	// Irregular costs: task 0 costs 10× the rest. Without normalisation the
+	// detector would see its long time as a breach; with NormCost it
+	// should not trigger.
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	tasks := fixedTasks(10, 1)
+	tasks[0].Cost = 10
+	det := monitor.NewDetector(500 * time.Millisecond) // nominal 100ms/unit
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, tasks, Options{Detector: det, NormCost: 1})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breached {
+		t.Error("normalised detector should not trigger on a big task")
+	}
+	if len(rep.Results) != 10 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+}
+
+func TestFarmOnResultCallback(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	var seen []int
+	sim.Go("root", func(c rt.Ctx) {
+		Run(pf, c, fixedTasks(5, 1), Options{
+			OnResult: func(r platform.Result) { seen = append(seen, r.Task.ID) },
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Errorf("callback saw %d results", len(seen))
+	}
+}
+
+func TestFarmWeightsReachPolicy(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}})
+	log := trace.New()
+	weights := map[int]float64{0: 0.9, 1: 0.1}
+	sim.Go("root", func(c rt.Ctx) {
+		Run(pf, c, fixedTasks(100, 1), Options{
+			Chunk:   sched.Weighted{F: 2},
+			Weights: weights,
+			Log:     log,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Weights shape chunk sizes, not totals (equal speeds equalise counts):
+	// the largest single dispatch burst to n0 must dwarf n1's.
+	dispatches := log.Filter(trace.KindDispatch)
+	maxBurst := map[string]int{}
+	burst := map[string]int{}
+	lastAt := map[string]time.Duration{}
+	for _, d := range dispatches {
+		if at, ok := lastAt[d.Node]; !ok || at != d.At {
+			burst[d.Node] = 0
+			lastAt[d.Node] = d.At
+		}
+		burst[d.Node]++
+		if burst[d.Node] > maxBurst[d.Node] {
+			maxBurst[d.Node] = burst[d.Node]
+		}
+	}
+	if maxBurst["n0"] < 5*maxBurst["n1"] {
+		t.Errorf("weighted max bursts should favour n0 heavily: %v", maxBurst)
+	}
+}
+
+func TestFarmEmptyTasks(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, nil, Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 || rep.Makespan != 0 {
+		t.Errorf("empty farm rep = %+v", rep)
+	}
+}
+
+func TestFarmDeterministic(t *testing.T) {
+	run := func() string {
+		pf, sim := gridPF(t, grid.HeterogeneousSpecs(11, 6, 50, 0.5))
+		var rep Report
+		sim.Go("root", func(c rt.Ctx) {
+			rep = Run(pf, c, fixedTasks(60, 2), Options{Chunk: sched.Guided{}})
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(rep.Makespan, rep.TasksByWorker)
+	}
+	if run() != run() {
+		t.Error("farm not deterministic")
+	}
+}
+
+func TestFarmBusyAccounting(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(5, 1), Options{})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BusyByWorker[0] != 500*time.Millisecond {
+		t.Errorf("busy = %v, want 500ms", rep.BusyByWorker[0])
+	}
+	if rep.TasksByWorker[0] != 5 {
+		t.Errorf("tasks = %d", rep.TasksByWorker[0])
+	}
+}
+
+func TestStaticFarm(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}})
+	tasks := fixedTasks(10, 1)
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = RunStatic(pf, c, tasks, sched.Blocks(10, 2), nil, nil)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 10 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+	if rep.TasksByWorker[0] != 5 || rep.TasksByWorker[1] != 5 {
+		t.Errorf("static split = %v", rep.TasksByWorker)
+	}
+}
+
+func TestStaticFarmSuffersFromHeterogeneity(t *testing.T) {
+	// Equal blocks on a 4×-skewed grid: the slow node dominates makespan.
+	// Demand-driven farm on the same grid should finish sooner.
+	specs := []grid.NodeSpec{{BaseSpeed: 40}, {BaseSpeed: 10}}
+	tasks := fixedTasks(50, 1)
+
+	pf1, sim1 := gridPF(t, specs)
+	var static Report
+	sim1.Go("root", func(c rt.Ctx) {
+		static = RunStatic(pf1, c, tasks, sched.Blocks(len(tasks), 2), nil, nil)
+	})
+	if err := sim1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, sim2 := gridPF(t, specs)
+	var dynamic Report
+	sim2.Go("root", func(c rt.Ctx) {
+		dynamic = Run(pf2, c, tasks, Options{})
+	})
+	if err := sim2.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if dynamic.Makespan >= static.Makespan {
+		t.Errorf("demand-driven (%v) should beat static blocks (%v)", dynamic.Makespan, static.Makespan)
+	}
+}
+
+func TestStaticFarmCustomWorkers(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}, {BaseSpeed: 10}})
+	tasks := fixedTasks(6, 1)
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = RunStatic(pf, c, tasks, sched.Blocks(6, 2), []int{1, 2}, nil)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksByWorker[0] != 0 || rep.TasksByWorker[1] != 3 || rep.TasksByWorker[2] != 3 {
+		t.Errorf("tasks = %v", rep.TasksByWorker)
+	}
+}
+
+func TestStaticFarmMismatchPanics(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	panicked := false
+	sim.Go("root", func(c rt.Ctx) {
+		defer func() { panicked = recover() != nil }()
+		RunStatic(pf, c, fixedTasks(2, 1), sched.Blocks(2, 2), []int{0}, nil)
+	})
+	_ = sim.Run()
+	if !panicked {
+		t.Error("mismatched workers/partition should panic")
+	}
+}
+
+func TestFarmOnLocalRuntime(t *testing.T) {
+	// The same skeleton code must run on real goroutines.
+	l := rt.NewLocal()
+	pf := platform.NewLocalPlatform(l, 4)
+	tasks := make([]platform.Task, 16)
+	for i := range tasks {
+		i := i
+		tasks[i] = platform.Task{ID: i, Fn: func() any { return i * i }}
+	}
+	var rep Report
+	l.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, tasks, Options{})
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 16 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	sum := 0
+	for _, r := range rep.Results {
+		sum += r.Value.(int)
+	}
+	if sum != 1240 { // Σ i² for i=0..15
+		t.Errorf("sum of squares = %d, want 1240", sum)
+	}
+}

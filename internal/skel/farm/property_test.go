@@ -1,0 +1,93 @@
+package farm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grasp/internal/grid"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+	"grasp/internal/vsim"
+)
+
+// TestFarmAccountingProperty: for arbitrary task counts, worker counts,
+// chunk policies and crash timings, the farm's books balance — every task
+// appears exactly once across Results and Remaining, per-worker busy time
+// sums to the results' execution times, and per-worker task counts sum to
+// the number of results.
+func TestFarmAccountingProperty(t *testing.T) {
+	policies := []func() sched.ChunkPolicy{
+		func() sched.ChunkPolicy { return sched.Single{} },
+		func() sched.ChunkPolicy { return sched.FixedChunk{K: 4} },
+		func() sched.ChunkPolicy { return sched.Guided{} },
+		func() sched.ChunkPolicy { return sched.NewFactoring() },
+	}
+	f := func(nTasks, nWorkers, policySel uint8, crash bool) bool {
+		n := int(nTasks)%120 + 1
+		p := int(nWorkers)%6 + 1
+		specs := make([]grid.NodeSpec, p)
+		for i := range specs {
+			specs[i] = grid.NodeSpec{BaseSpeed: 10 + float64(i)*5}
+		}
+		if crash && p > 1 {
+			specs[p-1].FailAt = 400 * time.Millisecond
+		}
+		env := vsim.New()
+		sim := rt.NewSim(env)
+		g, err := grid.New(env, grid.Config{Nodes: specs})
+		if err != nil {
+			return false
+		}
+		pf := platform.NewGridPlatform(sim, g, 0, 1)
+		tasks := make([]platform.Task, n)
+		for i := range tasks {
+			tasks[i] = platform.Task{ID: i, Cost: 1}
+		}
+		var rep Report
+		sim.Go("root", func(c rt.Ctx) {
+			rep = Run(pf, c, tasks, Options{Chunk: policies[int(policySel)%len(policies)]()})
+		})
+		if err := sim.Run(); err != nil {
+			return false
+		}
+
+		// Conservation: every ID exactly once across Results ∪ Remaining.
+		seen := make(map[int]int)
+		for _, r := range rep.Results {
+			seen[r.Task.ID]++
+		}
+		for _, task := range rep.Remaining {
+			seen[task.ID]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+
+		// Busy-time and task-count books balance against the results.
+		var wantBusy time.Duration
+		tasksDone := 0
+		for _, r := range rep.Results {
+			wantBusy += r.Time
+			tasksDone++
+		}
+		var gotBusy time.Duration
+		gotTasks := 0
+		for _, d := range rep.BusyByWorker {
+			gotBusy += d
+		}
+		for _, k := range rep.TasksByWorker {
+			gotTasks += k
+		}
+		return gotBusy == wantBusy && gotTasks == tasksDone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package farm
+
+import (
+	"testing"
+
+	"grasp/internal/grid"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+)
+
+func TestFarmExternalStopPredicate(t *testing.T) {
+	// Stop after the 10th completion: the farm must halt dispatch, report
+	// a breach, and return the tail untouched.
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}, {BaseSpeed: 10}})
+	done := 0
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(100, 1), Options{
+			OnResult: func(platform.Result) { done++ },
+			Stop:     func() bool { return done >= 10 },
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Breached {
+		t.Error("external stop must surface as a breach")
+	}
+	if len(rep.Remaining) == 0 {
+		t.Error("stopping early must leave remaining tasks")
+	}
+	if len(rep.Results)+len(rep.Remaining) != 100 {
+		t.Errorf("results %d + remaining %d != 100", len(rep.Results), len(rep.Remaining))
+	}
+	if len(rep.Results) >= 100 {
+		t.Errorf("stop ignored: %d results", len(rep.Results))
+	}
+}
+
+func TestFarmStopNeverFiringIsClean(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, fixedTasks(20, 1), Options{Stop: func() bool { return false }})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breached || len(rep.Results) != 20 {
+		t.Errorf("quiet stop predicate changed behaviour: %+v", rep)
+	}
+}
+
+func TestFarmStopLogsThresholdEvent(t *testing.T) {
+	pf, sim := gridPF(t, []grid.NodeSpec{{BaseSpeed: 10}})
+	log := trace.New()
+	n := 0
+	sim.Go("root", func(c rt.Ctx) {
+		Run(pf, c, fixedTasks(20, 1), Options{
+			OnResult: func(platform.Result) { n++ },
+			Stop:     func() bool { return n >= 5 },
+			Log:      log,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range log.Events() {
+		if e.Kind == trace.KindThreshold {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("external stop should log a threshold event")
+	}
+}

@@ -1,0 +1,34 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/pipeline"
+)
+
+// ExampleRun pushes 10 items through a two-stage pipeline on the local
+// runtime; each stage transforms the value.
+func ExampleRun() {
+	l := rt.NewLocal()
+	pf := platform.NewLocalPlatform(l, 2)
+
+	stages := []pipeline.Stage{
+		{Name: "double", Fn: func(v any) any { return v.(int) * 2 }},
+		{Name: "inc", Fn: func(v any) any { return v.(int) + 1 }},
+	}
+
+	var rep pipeline.Report
+	l.Go("main", func(c rt.Ctx) {
+		rep = pipeline.Run(pf, c, stages, 10, pipeline.Options{Mapping: []int{0, 1}})
+	})
+	if err := l.Run(); err != nil {
+		panic(err)
+	}
+
+	// The plain pipeline preserves order: item i exits as 2·i + 1.
+	fmt.Println(rep.Items, rep.Outputs[0], rep.Outputs[9])
+	// Output:
+	// 10 1 19
+}

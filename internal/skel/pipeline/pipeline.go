@@ -1,0 +1,464 @@
+// Package pipeline implements the pipeline algorithmic skeleton (the
+// paper's second skeleton, detailed in its ref [7], "Towards fully adaptive
+// pipeline parallelism for heterogeneous distributed environments").
+//
+// A pipeline of S stages is mapped onto workers (stage i on mapping[i]);
+// items flow through bounded inter-stage buffers. Each stage measures its
+// per-item service time with a monitor.Detector; a breach — the pipeline's
+// instance of Algorithm 2's rule — triggers the skeleton's inherent
+// adaptation levers:
+//
+//   - remapping: move the stage onto the fittest spare worker (the node is
+//     the problem);
+//   - replication: farm an order-insensitive stage across additional
+//     workers (the stage itself is the bottleneck), per ref [7]'s "fully
+//     adaptive" design.
+//
+// Worker crashes (grid.ErrNodeFailed) are survived by retiring the dead
+// worker and remapping; items are lost only when no spare remains.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+)
+
+// Stage describes one pipeline stage.
+type Stage struct {
+	// Name identifies the stage in traces.
+	Name string
+	// Cost returns the operation count for item i (simulated platforms).
+	Cost func(item int) float64
+	// InBytes/OutBytes are per-item payload sizes for the stage's transfers.
+	InBytes, OutBytes float64
+	// Fn transforms the item value (local platform; optional elsewhere).
+	Fn func(v any) any
+	// Replicable marks the stage as order-insensitive: the adaptive
+	// pipeline may farm it across several workers when it is a persistent
+	// bottleneck (items can then leave the stage out of order).
+	Replicable bool
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Mapping assigns stage i to worker Mapping[i]. Its length must equal
+	// the number of stages. Defaults to stage i → worker i.
+	Mapping []int
+	// Spares are workers the adaptive pipeline may remap or replicate slow
+	// stages onto, in preference order (fittest first). Empty disables
+	// adaptation.
+	Spares []int
+	// DetectorFor builds the per-stage detector; nil disables monitoring.
+	DetectorFor func(stage int) *monitor.Detector
+	// BufSize is the inter-stage buffer capacity (default 1).
+	BufSize int
+	// MaxReplicas caps the total workers a Replicable stage may grow to
+	// (≤1 disables replication). On a threshold breach a replicable stage
+	// prefers replication over remapping: a structural bottleneck needs
+	// capacity, not relocation.
+	MaxReplicas int
+	// Log receives complete/adapt events (optional).
+	Log *trace.Log
+}
+
+// Report is the outcome of a pipeline run.
+type Report struct {
+	// Makespan is the time from start until the last item leaves the sink.
+	Makespan time.Duration
+	// Items is the number of items that exited the pipeline.
+	Items int
+	// Outputs collects the final item values (local platform), in exit
+	// order.
+	Outputs []any
+	// ServiceByStage sums per-stage busy time (replicas included).
+	ServiceByStage []time.Duration
+	// Remaps records every relocation adaptation.
+	Remaps []Remap
+	// Replications records every replication adaptation.
+	Replications []Replication
+	// ExitTimes records when each item left the pipeline, in exit order.
+	ExitTimes []time.Duration
+	// FinalMapping is the stage→worker mapping of the primaries after
+	// adaptation.
+	FinalMapping []int
+	// Failures counts stage executions lost to worker crashes (each was
+	// retried after a remap when a spare was available).
+	Failures int
+	// Lost counts items dropped because a stage's worker crashed with no
+	// spare left to remap onto.
+	Lost int
+}
+
+// Remap is one stage-relocation adaptation event.
+type Remap struct {
+	At         time.Duration
+	Stage      int
+	FromWorker int
+	ToWorker   int
+}
+
+// Replication is one stage-replication adaptation event.
+type Replication struct {
+	At     time.Duration
+	Stage  int
+	Worker int // the added worker
+}
+
+// mapping is the mutable stage→worker table plus the spare pool, shared by
+// stage processes. A mutex keeps it safe on the local (goroutine) runtime;
+// under the simulated runtime accesses are already serialised.
+type mapping struct {
+	mu     sync.Mutex
+	stage  []int
+	spares []int
+}
+
+func (m *mapping) workerOf(stage int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stage[stage]
+}
+
+// remap moves a stage to the next spare, returning the old and new workers.
+// The vacated worker returns to the spare pool (it may recover).
+func (m *mapping) remap(stage int) (from, to int, ok bool) {
+	return m.move(stage, true)
+}
+
+// remapRetire moves a stage to the next spare and retires the old worker:
+// it crashed and must never be reused.
+func (m *mapping) remapRetire(stage int) (from, to int, ok bool) {
+	return m.move(stage, false)
+}
+
+func (m *mapping) move(stage int, recycle bool) (from, to int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.spares) == 0 {
+		return 0, 0, false
+	}
+	from = m.stage[stage]
+	to = m.spares[0]
+	m.spares = m.spares[1:]
+	if recycle {
+		m.spares = append(m.spares, from)
+	}
+	m.stage[stage] = to
+	return from, to, true
+}
+
+// takeSpare removes and returns the fittest spare for a replica.
+func (m *mapping) takeSpare() (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.spares) == 0 {
+		return 0, false
+	}
+	w := m.spares[0]
+	m.spares = m.spares[1:]
+	return w, true
+}
+
+func (m *mapping) snapshot() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int(nil), m.stage...)
+}
+
+// item is the unit flowing through the pipe.
+type item struct {
+	id  int
+	val any
+}
+
+// stageState is the shared mutable state of one stage across its primary
+// and replicas.
+type stageState struct {
+	mu       sync.Mutex
+	workers  int // processes consuming the stage's input
+	replicas int // total workers ever granted to the stage (primary + added)
+}
+
+// Run pushes nItems items (IDs 0..nItems-1, initial value = their ID)
+// through the stages and blocks until the sink has drained.
+func Run(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opts Options) Report {
+	if len(stages) == 0 {
+		return Report{}
+	}
+	m := &mapping{spares: append([]int(nil), opts.Spares...)}
+	if len(opts.Mapping) == 0 {
+		m.stage = make([]int, len(stages))
+		for i := range m.stage {
+			m.stage[i] = i % pf.Size()
+		}
+	} else {
+		if len(opts.Mapping) != len(stages) {
+			panic(fmt.Sprintf("pipeline: %d mappings for %d stages", len(opts.Mapping), len(stages)))
+		}
+		m.stage = append([]int(nil), opts.Mapping...)
+	}
+	bufSize := opts.BufSize
+	if bufSize < 1 {
+		bufSize = 1
+	}
+
+	runtime := pf.Runtime()
+	start := c.Now()
+	rep := Report{ServiceByStage: make([]time.Duration, len(stages))}
+	// repMu guards Report fields written by stage processes (needed only on
+	// the local runtime, harmless on the simulator).
+	var repMu sync.Mutex
+
+	chans := make([]rt.Chan, len(stages)+1)
+	for i := range chans {
+		chans[i] = runtime.NewChan(fmt.Sprintf("pipe.c%d", i), bufSize)
+	}
+
+	// Source.
+	c.Go("pipe.source", func(cc rt.Ctx) {
+		for i := 0; i < nItems; i++ {
+			chans[0].Send(cc, item{id: i, val: i})
+		}
+		chans[0].Close(cc)
+	})
+
+	run := &runner{
+		pf: pf, m: m, opts: opts, rep: &rep, repMu: &repMu,
+		chans: chans, stages: stages,
+	}
+
+	// Stages: one primary process each.
+	stageDone := make([]rt.Handle, len(stages))
+	for si := range stages {
+		si := si
+		run.state[si].workers = 1
+		run.state[si].replicas = 1
+		var det *monitor.Detector
+		if opts.DetectorFor != nil {
+			det = opts.DetectorFor(si)
+		}
+		stageDone[si] = c.Go(fmt.Sprintf("pipe.stage.%d", si), func(cc rt.Ctx) {
+			run.stageLoop(cc, si, det, -1)
+		})
+	}
+
+	// Sink (runs in the caller).
+	for {
+		v, ok := chans[len(stages)].Recv(c)
+		if !ok {
+			break
+		}
+		it := v.(item)
+		rep.Items++
+		rep.Outputs = append(rep.Outputs, it.val)
+		rep.ExitTimes = append(rep.ExitTimes, c.Now()-start)
+	}
+	for _, h := range stageDone {
+		c.Join(h)
+	}
+	if rep.Items > 0 {
+		rep.Makespan = rep.ExitTimes[len(rep.ExitTimes)-1]
+	}
+	rep.FinalMapping = m.snapshot()
+	return rep
+}
+
+// runner bundles the shared context of all stage processes.
+type runner struct {
+	pf     platform.Platform
+	m      *mapping
+	opts   Options
+	rep    *Report
+	repMu  *sync.Mutex
+	chans  []rt.Chan
+	stages []Stage
+	state  [64]stageState // indexed by stage; pipelines are short
+}
+
+// stageLoop is the body of a primary (fixedWorker < 0, remappable) or a
+// replica (fixedWorker ≥ 0) process of stage si. When the stage's input
+// closes, the last process of the stage closes the output.
+func (r *runner) stageLoop(cc rt.Ctx, si int, det *monitor.Detector, fixedWorker int) {
+	if si >= len(r.state) {
+		panic("pipeline: too many stages")
+	}
+	st := r.stages[si]
+	for {
+		v, ok := r.chans[si].Recv(cc)
+		if !ok {
+			r.leaveStage(cc, si)
+			return
+		}
+		it := v.(item)
+		cost := 0.0
+		if st.Cost != nil {
+			cost = st.Cost(it.id)
+		}
+		task := platform.Task{
+			ID:      it.id,
+			Cost:    cost,
+			InBytes: st.InBytes, OutBytes: st.OutBytes,
+			Fn: wrapFn(st.Fn, it.val),
+		}
+		var res platform.Result
+		lost := false
+		for {
+			w := fixedWorker
+			if w < 0 {
+				w = r.m.workerOf(si)
+			}
+			res = r.pf.Exec(cc, w, task)
+			if !res.Failed() {
+				break
+			}
+			r.repMu.Lock()
+			r.rep.Failures++
+			r.repMu.Unlock()
+			if fixedWorker >= 0 {
+				// A replica's worker crashed: the replica retires itself;
+				// its in-flight item is retried by... nobody — the item is
+				// lost unless we can grab a spare to finish it here.
+				if nw, got := r.m.takeSpare(); got {
+					fixedWorker = nw
+					r.logAdapt(cc, si, w, nw, "replica worker failed")
+					continue
+				}
+				lost = true
+				break
+			}
+			from, to, remapped := r.m.remapRetire(si)
+			if !remapped {
+				lost = true
+				break
+			}
+			if det != nil {
+				det.Reset()
+			}
+			r.recordRemap(cc, si, from, to, "worker failed")
+		}
+		if lost {
+			// The item is unrecoverable; keep draining so the pipe
+			// terminates cleanly.
+			r.repMu.Lock()
+			r.rep.Lost++
+			r.repMu.Unlock()
+			continue
+		}
+		if st.Fn != nil {
+			it.val = res.Value
+		}
+		r.repMu.Lock()
+		r.rep.ServiceByStage[si] += res.Time
+		r.repMu.Unlock()
+		if r.opts.Log != nil {
+			r.opts.Log.Append(trace.Event{
+				At: cc.Now(), Kind: trace.KindComplete,
+				Proc: st.Name, Node: r.pf.WorkerName(res.Worker), Task: it.id, Dur: res.Time,
+			})
+		}
+		if det != nil {
+			det.Observe(res.Time)
+			if breached, stat := det.Breached(); breached {
+				r.adapt(cc, si, det, stat)
+			}
+		}
+		r.chans[si+1].Send(cc, it)
+	}
+}
+
+// adapt applies the stage's adaptation policy on a threshold breach:
+// replicate when the stage allows it and the cap leaves room, else remap.
+func (r *runner) adapt(cc rt.Ctx, si int, det *monitor.Detector, stat time.Duration) {
+	st := r.stages[si]
+	if st.Replicable && r.opts.MaxReplicas > 1 {
+		r.state[si].mu.Lock()
+		canGrow := r.state[si].replicas < r.opts.MaxReplicas
+		r.state[si].mu.Unlock()
+		if canGrow {
+			if w, got := r.m.takeSpare(); got {
+				r.state[si].mu.Lock()
+				r.state[si].replicas++
+				r.state[si].workers++
+				r.state[si].mu.Unlock()
+				det.Reset()
+				r.repMu.Lock()
+				r.rep.Replications = append(r.rep.Replications, Replication{
+					At: cc.Now(), Stage: si, Worker: w,
+				})
+				r.repMu.Unlock()
+				if r.opts.Log != nil {
+					r.opts.Log.Append(trace.Event{
+						At: cc.Now(), Kind: trace.KindAdapt,
+						Proc: st.Name, Node: r.pf.WorkerName(w),
+						Msg: fmt.Sprintf("replicate stage %d onto %s (stat %v)",
+							si, r.pf.WorkerName(w), stat),
+					})
+				}
+				cc.Go(fmt.Sprintf("pipe.stage.%d.rep%d", si, w), func(rc rt.Ctx) {
+					r.stageLoop(rc, si, nil, w)
+				})
+				return
+			}
+		}
+	}
+	if from, to, remapped := r.m.remap(si); remapped {
+		det.Reset()
+		r.recordRemap(cc, si, from, to, fmt.Sprintf("stat %v", stat))
+	}
+}
+
+// leaveStage decrements the stage's worker count; the last worker out
+// closes the downstream channel.
+func (r *runner) leaveStage(cc rt.Ctx, si int) {
+	r.state[si].mu.Lock()
+	r.state[si].workers--
+	last := r.state[si].workers == 0
+	r.state[si].mu.Unlock()
+	if last {
+		r.chans[si+1].Close(cc)
+	}
+}
+
+// recordRemap appends a remap event to the report and the trace.
+func (r *runner) recordRemap(cc rt.Ctx, si, from, to int, why string) {
+	r.repMu.Lock()
+	r.rep.Remaps = append(r.rep.Remaps, Remap{
+		At: cc.Now(), Stage: si, FromWorker: from, ToWorker: to,
+	})
+	r.repMu.Unlock()
+	if r.opts.Log != nil {
+		r.opts.Log.Append(trace.Event{
+			At: cc.Now(), Kind: trace.KindAdapt,
+			Proc: r.stages[si].Name, Node: r.pf.WorkerName(to),
+			Msg: fmt.Sprintf("remap stage %d %s→%s (%s)",
+				si, r.pf.WorkerName(from), r.pf.WorkerName(to), why),
+		})
+	}
+}
+
+// logAdapt records a replica self-heal in the trace.
+func (r *runner) logAdapt(cc rt.Ctx, si, from, to int, why string) {
+	if r.opts.Log == nil {
+		return
+	}
+	r.opts.Log.Append(trace.Event{
+		At: cc.Now(), Kind: trace.KindAdapt,
+		Proc: r.stages[si].Name, Node: r.pf.WorkerName(to),
+		Msg: fmt.Sprintf("replica of stage %d moved %s→%s (%s)",
+			si, r.pf.WorkerName(from), r.pf.WorkerName(to), why),
+	})
+}
+
+// wrapFn binds a stage transform to the current value for platform.Exec.
+func wrapFn(fn func(any) any, v any) func() any {
+	if fn == nil {
+		return nil
+	}
+	return func() any { return fn(v) }
+}

@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+)
+
+// bottleneckStages builds a 3-stage pipe whose middle stage costs `mid`×
+// the others and is marked replicable.
+func bottleneckStages(mid float64) []Stage {
+	return []Stage{
+		{Name: "pre", Cost: func(int) float64 { return 1 }},
+		{Name: "hot", Cost: func(int) float64 { return mid }, Replicable: true},
+		{Name: "post", Cost: func(int) float64 { return 1 }},
+	}
+}
+
+// tightDetector breaches as soon as two items exceed z.
+func tightDetector(z time.Duration) func(int) *monitor.Detector {
+	return func(int) *monitor.Detector {
+		d := monitor.NewDetector(z)
+		d.Window = 2
+		d.MinSamples = 2
+		return d
+	}
+}
+
+func TestPipelineReplicatesBottleneckStage(t *testing.T) {
+	// Stage "hot" takes 0.4s/item on every node — a structural bottleneck
+	// no remap can fix. With Z=0.2s its detector breaches at once; the
+	// stage must replicate onto the spares rather than hop between them.
+	pf, sim := gridPF(t, evenSpeeds(6, 10))
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, bottleneckStages(4), 40, Options{
+			Mapping:     []int{0, 1, 2},
+			Spares:      []int{3, 4, 5},
+			DetectorFor: tightDetector(200 * time.Millisecond),
+			MaxReplicas: 3,
+			BufSize:     4,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 40 {
+		t.Fatalf("items = %d, want 40", rep.Items)
+	}
+	if len(rep.Replications) == 0 {
+		t.Fatal("a structural bottleneck on a replicable stage must replicate")
+	}
+	if len(rep.Replications) > 2 {
+		t.Errorf("replications = %d, cap is MaxReplicas-1 = 2", len(rep.Replications))
+	}
+	for _, r := range rep.Replications {
+		if r.Stage != 1 {
+			t.Errorf("replicated stage %d, want 1", r.Stage)
+		}
+	}
+}
+
+func TestPipelineReplicationBeatsRemapOnStructuralBottleneck(t *testing.T) {
+	// The same pipe with replication disabled can only remap the hot stage
+	// between equal nodes — which fixes nothing.
+	run := func(maxReplicas int, replicable bool) time.Duration {
+		pf, sim := gridPF(t, evenSpeeds(6, 10))
+		stages := bottleneckStages(4)
+		stages[1].Replicable = replicable
+		var rep Report
+		sim.Go("root", func(c rt.Ctx) {
+			rep = Run(pf, c, stages, 40, Options{
+				Mapping:     []int{0, 1, 2},
+				Spares:      []int{3, 4, 5},
+				DetectorFor: tightDetector(200 * time.Millisecond),
+				MaxReplicas: maxReplicas,
+				BufSize:     4,
+			})
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Items != 40 {
+			t.Fatalf("items = %d", rep.Items)
+		}
+		return rep.Makespan
+	}
+	replicated := run(3, true)
+	remapOnly := run(1, false)
+	if replicated >= remapOnly {
+		t.Errorf("replication %v should beat remap-only %v on a structural bottleneck",
+			replicated, remapOnly)
+	}
+}
+
+func TestPipelineReplicaWorkerCrashSelfHeals(t *testing.T) {
+	// The first spare (which will host the replica) dies mid-run; the
+	// replica must grab the next spare and the pipe must deliver every
+	// item.
+	specs := evenSpeeds(6, 10)
+	specs[3].FailAt = 3 * time.Second // first spare: becomes the replica
+	pf, sim := gridPF(t, specs)
+	log := trace.New()
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, bottleneckStages(4), 60, Options{
+			Mapping:     []int{0, 1, 2},
+			Spares:      []int{3, 4, 5},
+			DetectorFor: tightDetector(200 * time.Millisecond),
+			MaxReplicas: 2,
+			BufSize:     4,
+			Log:         log,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 60 {
+		t.Fatalf("items = %d, want 60 (replica crash must not drop items)", rep.Items)
+	}
+	if rep.Failures == 0 {
+		t.Error("the replica's crash should be counted")
+	}
+	if rep.Lost != 0 {
+		t.Errorf("lost = %d, want 0 (spares remained)", rep.Lost)
+	}
+	// The self-heal must be visible in the trace.
+	healed := false
+	for _, e := range log.Events() {
+		if e.Kind == trace.KindAdapt {
+			healed = true
+		}
+	}
+	if !healed {
+		t.Error("no adapt events in the trace")
+	}
+}
+
+func TestPipelineReplicationCapRespected(t *testing.T) {
+	// MaxReplicas 1 disables replication entirely even for replicable
+	// stages: the breach falls through to remapping.
+	pf, sim := gridPF(t, evenSpeeds(5, 10))
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, bottleneckStages(4), 20, Options{
+			Mapping:     []int{0, 1, 2},
+			Spares:      []int{3, 4},
+			DetectorFor: tightDetector(200 * time.Millisecond),
+			MaxReplicas: 1,
+			BufSize:     2,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 20 {
+		t.Fatalf("items = %d", rep.Items)
+	}
+	if len(rep.Replications) != 0 {
+		t.Errorf("replications = %d with MaxReplicas=1", len(rep.Replications))
+	}
+	if len(rep.Remaps) == 0 {
+		t.Error("breaches should fall through to remapping")
+	}
+}
+
+func TestPipelineReplicationExhaustsSparesGracefully(t *testing.T) {
+	// More breaches than spares: replication stops when the pool is dry
+	// and the pipe still completes.
+	pf, sim := gridPF(t, evenSpeeds(4, 10))
+	var rep Report
+	sim.Go("root", func(c rt.Ctx) {
+		rep = Run(pf, c, bottleneckStages(8), 30, Options{
+			Mapping:     []int{0, 1, 2},
+			Spares:      []int{3},
+			DetectorFor: tightDetector(100 * time.Millisecond),
+			MaxReplicas: 4,
+			BufSize:     2,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 30 {
+		t.Fatalf("items = %d", rep.Items)
+	}
+	if len(rep.Replications) > 1 {
+		t.Errorf("replications = %d with a single spare", len(rep.Replications))
+	}
+}

@@ -1,0 +1,33 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"grasp/internal/stats"
+)
+
+// ExampleLinregress fits the univariate model Algorithm 1's statistical
+// calibration uses: probe time as a function of observed processor load.
+func ExampleLinregress() {
+	loads := []float64{0.0, 0.2, 0.4, 0.6}
+	times := []float64{1.0, 1.5, 2.0, 2.5} // time = 1 + 2.5·load
+	fit, err := stats.Linregress(loads, times)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("time = %.2f + %.2f·load (R²=%.2f)\n", fit.Intercept, fit.Slope, fit.R2)
+	// Output:
+	// time = 1.00 + 2.50·load (R²=1.00)
+}
+
+// ExampleTrendWindow forecasts one step ahead from a sliding linear fit —
+// the proactive monitor's predictor.
+func ExampleTrendWindow() {
+	f := stats.NewTrendWindow(3)
+	for _, load := range []float64{0.1, 0.2, 0.3} {
+		f.Observe(load)
+	}
+	fmt.Printf("next: %.1f\n", f.Predict())
+	// Output:
+	// next: 0.4
+}

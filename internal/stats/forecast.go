@@ -1,0 +1,210 @@
+package stats
+
+import "math"
+
+// Forecaster predicts the next value of a scalar time series from the values
+// observed so far. GRASP's monitoring layer uses forecasters in the style of
+// the Network Weather Service to smooth noisy load and bandwidth sensors
+// before the calibration's statistical adjustment.
+type Forecaster interface {
+	// Observe records the next sample of the series.
+	Observe(x float64)
+	// Predict returns the forecast for the next (unseen) sample.
+	// It returns NaN before any observation.
+	Predict() float64
+	// Reset discards all state.
+	Reset()
+}
+
+// LastValue forecasts the most recent observation (persistence model).
+type LastValue struct {
+	last float64
+	seen bool
+}
+
+// NewLastValue returns a persistence forecaster.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Observe implements Forecaster.
+func (f *LastValue) Observe(x float64) { f.last, f.seen = x, true }
+
+// Predict implements Forecaster.
+func (f *LastValue) Predict() float64 {
+	if !f.seen {
+		return math.NaN()
+	}
+	return f.last
+}
+
+// Reset implements Forecaster.
+func (f *LastValue) Reset() { *f = LastValue{} }
+
+// RunningMean forecasts the mean of all observations so far.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// NewRunningMean returns a running-mean forecaster.
+func NewRunningMean() *RunningMean { return &RunningMean{} }
+
+// Observe implements Forecaster.
+func (f *RunningMean) Observe(x float64) { f.sum += x; f.n++ }
+
+// Predict implements Forecaster.
+func (f *RunningMean) Predict() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.sum / float64(f.n)
+}
+
+// Reset implements Forecaster.
+func (f *RunningMean) Reset() { *f = RunningMean{} }
+
+// EWMA forecasts with an exponentially weighted moving average
+// s ← α·x + (1−α)·s. Alpha in (0,1]; larger tracks faster.
+type EWMA struct {
+	Alpha float64
+	s     float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA forecaster with the given smoothing factor.
+// Alpha outside (0,1] is clamped into it.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Observe implements Forecaster.
+func (f *EWMA) Observe(x float64) {
+	if !f.seen {
+		f.s, f.seen = x, true
+		return
+	}
+	f.s = f.Alpha*x + (1-f.Alpha)*f.s
+}
+
+// Predict implements Forecaster.
+func (f *EWMA) Predict() float64 {
+	if !f.seen {
+		return math.NaN()
+	}
+	return f.s
+}
+
+// Reset implements Forecaster.
+func (f *EWMA) Reset() { f.s, f.seen = 0, false }
+
+// TrendWindow forecasts by fitting a least-squares line to the last W
+// observations and extrapolating one step ahead. With fewer than two
+// observations it falls back to persistence.
+type TrendWindow struct {
+	W   int
+	buf []float64
+	t   int // index of the next observation
+}
+
+// NewTrendWindow returns a linear-trend forecaster over a window of w
+// samples (minimum 2).
+func NewTrendWindow(w int) *TrendWindow {
+	if w < 2 {
+		w = 2
+	}
+	return &TrendWindow{W: w}
+}
+
+// Observe implements Forecaster.
+func (f *TrendWindow) Observe(x float64) {
+	f.buf = append(f.buf, x)
+	if len(f.buf) > f.W {
+		f.buf = f.buf[1:]
+	}
+	f.t++
+}
+
+// Predict implements Forecaster.
+func (f *TrendWindow) Predict() float64 {
+	n := len(f.buf)
+	switch n {
+	case 0:
+		return math.NaN()
+	case 1:
+		return f.buf[0]
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	fit, err := Linregress(xs, f.buf)
+	if err != nil {
+		return f.buf[n-1]
+	}
+	return fit.Predict(float64(n))
+}
+
+// Reset implements Forecaster.
+func (f *TrendWindow) Reset() { f.buf, f.t = nil, 0 }
+
+// Window is a fixed-capacity sliding window of float64 samples with O(1)
+// descriptive queries used by the monitoring layer.
+type Window struct {
+	cap  int
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindow returns a sliding window holding the most recent n samples
+// (minimum 1).
+func NewWindow(n int) *Window {
+	if n < 1 {
+		n = 1
+	}
+	return &Window{cap: n, buf: make([]float64, 0, n)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (w *Window) Push(x float64) {
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, x)
+		if len(w.buf) == w.cap {
+			w.full = true
+		}
+		return
+	}
+	w.buf[w.next] = x
+	w.next = (w.next + 1) % w.cap
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Full reports whether the window has reached capacity at least once.
+func (w *Window) Full() bool { return w.full }
+
+// Values returns the samples in insertion order (oldest first).
+func (w *Window) Values() []float64 {
+	if len(w.buf) < w.cap {
+		return append([]float64(nil), w.buf...)
+	}
+	out := make([]float64, 0, w.cap)
+	out = append(out, w.buf[w.next:]...)
+	out = append(out, w.buf[:w.next]...)
+	return out
+}
+
+// Mean returns the mean of the window contents (NaN when empty).
+func (w *Window) Mean() float64 { return Mean(w.buf) }
+
+// Min returns the minimum of the window contents (NaN when empty).
+func (w *Window) Min() float64 { return Min(w.buf) }
+
+// Max returns the maximum of the window contents (NaN when empty).
+func (w *Window) Max() float64 { return Max(w.buf) }

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLastValue(t *testing.T) {
+	f := NewLastValue()
+	if !math.IsNaN(f.Predict()) {
+		t.Error("empty LastValue should predict NaN")
+	}
+	f.Observe(3)
+	f.Observe(7)
+	if got := f.Predict(); got != 7 {
+		t.Errorf("Predict = %v, want 7", got)
+	}
+	f.Reset()
+	if !math.IsNaN(f.Predict()) {
+		t.Error("after Reset should predict NaN")
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := NewRunningMean()
+	if !math.IsNaN(f.Predict()) {
+		t.Error("empty RunningMean should predict NaN")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		f.Observe(x)
+	}
+	if got := f.Predict(); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Predict = %v, want 2.5", got)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	f := NewEWMA(0.5)
+	for i := 0; i < 100; i++ {
+		f.Observe(10)
+	}
+	if got := f.Predict(); !almostEq(got, 10, 1e-9) {
+		t.Errorf("EWMA on constant = %v, want 10", got)
+	}
+}
+
+func TestEWMATracksStep(t *testing.T) {
+	f := NewEWMA(0.5)
+	f.Observe(0)
+	f.Observe(10) // s = 5
+	if got := f.Predict(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("EWMA after step = %v, want 5", got)
+	}
+}
+
+func TestEWMAClamping(t *testing.T) {
+	if f := NewEWMA(-1); f.Alpha <= 0 {
+		t.Errorf("alpha not clamped: %v", f.Alpha)
+	}
+	if f := NewEWMA(5); f.Alpha != 1 {
+		t.Errorf("alpha not clamped to 1: %v", f.Alpha)
+	}
+}
+
+func TestTrendWindowExtrapolates(t *testing.T) {
+	f := NewTrendWindow(5)
+	for i := 0; i < 5; i++ {
+		f.Observe(float64(2 * i)) // 0,2,4,6,8
+	}
+	if got := f.Predict(); !almostEq(got, 10, 1e-9) {
+		t.Errorf("TrendWindow predict = %v, want 10", got)
+	}
+}
+
+func TestTrendWindowFewSamples(t *testing.T) {
+	f := NewTrendWindow(5)
+	if !math.IsNaN(f.Predict()) {
+		t.Error("empty trend should predict NaN")
+	}
+	f.Observe(4)
+	if got := f.Predict(); got != 4 {
+		t.Errorf("single-sample trend = %v, want 4", got)
+	}
+}
+
+func TestTrendWindowSlides(t *testing.T) {
+	f := NewTrendWindow(3)
+	// Old decreasing data is pushed out by an increasing tail.
+	for _, x := range []float64{100, 90, 80, 1, 2, 3} {
+		f.Observe(x)
+	}
+	if got := f.Predict(); !almostEq(got, 4, 1e-9) {
+		t.Errorf("sliding trend = %v, want 4", got)
+	}
+}
+
+func TestForecastersOnNoisyConstant(t *testing.T) {
+	// All forecasters should land near the true mean of a noisy constant
+	// signal; EWMA and mean should beat persistence on average error.
+	rng := rand.New(rand.NewSource(11))
+	signal := make([]float64, 400)
+	for i := range signal {
+		signal[i] = 5 + rng.NormFloat64()
+	}
+	type named struct {
+		name string
+		f    Forecaster
+	}
+	fs := []named{
+		{"last", NewLastValue()},
+		{"mean", NewRunningMean()},
+		{"ewma", NewEWMA(0.1)},
+		{"trend", NewTrendWindow(20)},
+	}
+	errs := make(map[string]float64)
+	for _, nf := range fs {
+		var sum float64
+		n := 0
+		for _, x := range signal {
+			p := nf.f.Predict()
+			if !math.IsNaN(p) {
+				sum += math.Abs(p - x)
+				n++
+			}
+			nf.f.Observe(x)
+		}
+		errs[nf.name] = sum / float64(n)
+	}
+	if errs["mean"] >= errs["last"] {
+		t.Errorf("running mean (%v) should beat persistence (%v) on noisy constant", errs["mean"], errs["last"])
+	}
+	if errs["ewma"] >= errs["last"] {
+		t.Errorf("EWMA (%v) should beat persistence (%v) on noisy constant", errs["ewma"], errs["last"])
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Full() {
+		t.Fatal("new window should be empty")
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Full() {
+		t.Error("not yet full")
+	}
+	w.Push(3)
+	if !w.Full() || w.Len() != 3 {
+		t.Error("should be full at capacity")
+	}
+	w.Push(4) // evicts 1
+	vals := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+	if got := w.Mean(); !almostEq(got, 3, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if w.Min() != 2 || w.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWindowCapacityClamp(t *testing.T) {
+	w := NewWindow(0)
+	w.Push(1)
+	w.Push(2)
+	if w.Len() != 1 || w.Values()[0] != 2 {
+		t.Errorf("capacity-1 window misbehaved: %v", w.Values())
+	}
+}
+
+func TestWindowValuesOrder(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 10; i++ {
+		w.Push(float64(i))
+	}
+	vals := w.Values()
+	want := []float64{7, 8, 9, 10}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+}

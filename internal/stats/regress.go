@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a regression design matrix is singular or
+// ill-conditioned (e.g. a predictor is constant or predictors are collinear).
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// LinearFit is the result of a univariate ordinary-least-squares fit
+// y ≈ Intercept + Slope·x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	R2        float64 // coefficient of determination on the training data
+	N         int     // number of observations used
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// Linregress fits y ≈ a + b·x by ordinary least squares.
+// It returns ErrSingular when x has zero variance.
+func Linregress(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need at least 2 observations, have %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrSingular
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	fit := LinearFit{Intercept: a, Slope: b, N: len(x)}
+	fit.R2 = rSquared(y, func(i int) float64 { return fit.Predict(x[i]) })
+	return fit, nil
+}
+
+// MultiFit is the result of a multivariate OLS fit
+// y ≈ Coef[0] + Coef[1]·x1 + … + Coef[k]·xk.
+type MultiFit struct {
+	Coef []float64 // Coef[0] is the intercept
+	R2   float64
+	N    int
+}
+
+// Predict evaluates the fitted hyperplane at the predictor vector x
+// (len(x) must equal len(Coef)-1).
+func (f MultiFit) Predict(x []float64) float64 {
+	y := f.Coef[0]
+	for i, v := range x {
+		y += f.Coef[i+1] * v
+	}
+	return y
+}
+
+// MultiRegress fits y ≈ β0 + Σ βj·X[i][j] by OLS via the normal equations,
+// solved with Gaussian elimination with partial pivoting. X is row-major:
+// one row per observation. It returns ErrSingular for collinear or constant
+// predictors.
+//
+// The paper's multivariate calibration regresses execution time on processor
+// load and bandwidth utilisation; k is therefore small (≤ 3), for which the
+// normal equations are numerically adequate.
+func MultiRegress(x [][]float64, y []float64) (MultiFit, error) {
+	n := len(x)
+	if n != len(y) {
+		return MultiFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", n, len(y))
+	}
+	if n == 0 {
+		return MultiFit{}, errors.New("stats: no observations")
+	}
+	k := len(x[0])
+	for i, row := range x {
+		if len(row) != k {
+			return MultiFit{}, fmt.Errorf("stats: ragged design matrix at row %d", i)
+		}
+	}
+	if n < k+1 {
+		return MultiFit{}, fmt.Errorf("stats: need at least %d observations for %d predictors, have %d", k+1, k, n)
+	}
+
+	// Build the (k+1)×(k+1) normal-equation system AᵀA β = Aᵀy where A has a
+	// leading column of ones.
+	dim := k + 1
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	aty := make([]float64, dim)
+	at := func(row int, col int) float64 {
+		if col == 0 {
+			return 1
+		}
+		return x[row][col-1]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < dim; i++ {
+			vi := at(r, i)
+			aty[i] += vi * y[r]
+			for j := i; j < dim; j++ {
+				ata[i][j] += vi * at(r, j)
+			}
+		}
+	}
+	for i := 1; i < dim; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+
+	coef, err := SolveLinear(ata, aty)
+	if err != nil {
+		return MultiFit{}, err
+	}
+	fit := MultiFit{Coef: coef, N: n}
+	fit.R2 = rSquared(y, func(i int) float64 { return fit.Predict(x[i]) })
+	return fit, nil
+}
+
+// SolveLinear solves the square system a·x = b by Gaussian elimination with
+// partial pivoting. a and b are not modified. It returns ErrSingular when a
+// pivot underflows.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: bad system dimensions %d×? vs %d", n, len(b))
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("stats: non-square matrix row %d", i)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := append([]float64(nil), b...)
+
+	const eps = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in this column.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < eps {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	xs := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := v[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * xs[c]
+		}
+		xs[r] = s / m[r][r]
+	}
+	return xs, nil
+}
+
+// rSquared computes the coefficient of determination of predictions pred(i)
+// against observations y. A constant y yields 1 if predictions are exact,
+// else 0.
+func rSquared(y []float64, pred func(i int) float64) float64 {
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - pred(i)
+		ssRes += d * d
+		t := y[i] - my
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinregressExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit, err := Linregress(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Intercept, 1, 1e-9) || !almostEq(fit.Slope, 2, 1e-9) {
+		t.Errorf("fit = %+v, want intercept 1 slope 2", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); !almostEq(got, 21, 1e-9) {
+		t.Errorf("Predict(10) = %v, want 21", got)
+	}
+}
+
+func TestLinregressNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = 3 - 0.5*x[i] + rng.NormFloat64()*0.1
+	}
+	fit, err := Linregress(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Intercept-3) > 0.05 || math.Abs(fit.Slope+0.5) > 0.02 {
+		t.Errorf("noisy fit = %+v, want approx intercept 3 slope -0.5", fit)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R2 = %v, want > 0.9", fit.R2)
+	}
+}
+
+func TestLinregressErrors(t *testing.T) {
+	if _, err := Linregress([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for n<2")
+	}
+	if _, err := Linregress([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := Linregress([]float64{5, 5, 5}, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("constant x: got %v, want ErrSingular", err)
+	}
+}
+
+func TestMultiRegressExactPlane(t *testing.T) {
+	// y = 2 + 3·x1 − 1·x2
+	x := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}, {3, 5},
+	}
+	y := make([]float64, len(x))
+	for i, row := range x {
+		y[i] = 2 + 3*row[0] - row[1]
+	}
+	fit, err := MultiRegress(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i, w := range want {
+		if !almostEq(fit.Coef[i], w, 1e-9) {
+			t.Errorf("Coef[%d] = %v, want %v", i, fit.Coef[i], w)
+		}
+	}
+	if !almostEq(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict([]float64{2, 3}); !almostEq(got, 5, 1e-9) {
+		t.Errorf("Predict = %v, want 5", got)
+	}
+}
+
+func TestMultiRegressNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 1000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b, c}
+		y[i] = 1 + 2*a - 3*b + 0.5*c + rng.NormFloat64()*0.05
+	}
+	fit, err := MultiRegress(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3, 0.5}
+	for i, w := range want {
+		if math.Abs(fit.Coef[i]-w) > 0.05 {
+			t.Errorf("Coef[%d] = %v, want approx %v", i, fit.Coef[i], w)
+		}
+	}
+}
+
+func TestMultiRegressErrors(t *testing.T) {
+	if _, err := MultiRegress(nil, nil); err == nil {
+		t.Error("want error for empty system")
+	}
+	if _, err := MultiRegress([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := MultiRegress([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("want error for ragged matrix")
+	}
+	// Collinear predictors: x2 = 2·x1.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := MultiRegress(x, y); !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear: got %v, want ErrSingular", err)
+	}
+	// Too few observations.
+	if _, err := MultiRegress([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("want error for n < k+1")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	b := []float64{3, 5}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 5, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [5 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 5}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 0 || a[0][1] != 1 || b[0] != 3 {
+		t.Errorf("inputs mutated: a=%v b=%v", a, b)
+	}
+}
+
+// Property: solving A·x = b then multiplying back recovers b.
+func TestPropSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 1 + r.Intn(5)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			a[i][i] += float64(n) * 2 // diagonally dominant → nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a[i][j] * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: univariate regression is invariant to observation order.
+func TestPropLinregressOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = rng.Float64() * 100
+		}
+		f1, err1 := Linregress(x, y)
+		// Reverse.
+		xr := make([]float64, n)
+		yr := make([]float64, n)
+		for i := range x {
+			xr[n-1-i], yr[n-1-i] = x[i], y[i]
+		}
+		f2, err2 := Linregress(xr, yr)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !almostEq(f1.Slope, f2.Slope, 1e-9) || !almostEq(f1.Intercept, f2.Intercept, 1e-9) {
+			t.Fatalf("order-dependent fit: %+v vs %+v", f1, f2)
+		}
+	}
+}
+
+// Property: R² of the OLS fit is within [0, 1] on its own training data
+// (guaranteed because OLS minimises SSE and includes an intercept).
+func TestPropR2Range(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		fit, err := Linregress(x, y)
+		if err != nil {
+			continue
+		}
+		if fit.R2 < -1e-9 || fit.R2 > 1+1e-9 {
+			t.Fatalf("R2 out of range: %v", fit.R2)
+		}
+	}
+}

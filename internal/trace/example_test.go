@@ -1,0 +1,45 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/trace"
+)
+
+// ExampleLog_Phases reconstructs the GRASP lifecycle (Fig. 1) from phase
+// events — the reduction E1 prints as its table.
+func ExampleLog_Phases() {
+	l := trace.New()
+	l.Append(trace.Event{At: 0, Kind: trace.KindPhaseStart, Msg: "calibration"})
+	l.Append(trace.Event{At: 2 * time.Second, Kind: trace.KindPhaseEnd, Msg: "calibration"})
+	l.Append(trace.Event{At: 2 * time.Second, Kind: trace.KindPhaseStart, Msg: "execution"})
+	l.Append(trace.Event{At: 10 * time.Second, Kind: trace.KindPhaseEnd, Msg: "execution"})
+
+	for _, p := range l.Phases() {
+		fmt.Printf("%s: %v → %v\n", p.Name, p.Start, p.End)
+	}
+	// Output:
+	// calibration: 0s → 2s
+	// execution: 2s → 10s
+}
+
+// ExampleLog_Throughput buckets completions into a time series — the
+// pipeline experiments' throughput curves.
+func ExampleLog_Throughput() {
+	l := trace.New()
+	for i := 0; i < 6; i++ {
+		l.Append(trace.Event{
+			At:   time.Duration(i) * 500 * time.Millisecond,
+			Kind: trace.KindComplete, Task: i,
+		})
+	}
+	for _, b := range l.Throughput(time.Second, 3*time.Second) {
+		fmt.Printf("[%v,+1s): %d\n", b.Start, b.Completions)
+	}
+	// Output:
+	// [0s,+1s): 2
+	// [1s,+1s): 2
+	// [2s,+1s): 2
+	// [3s,+1s): 0
+}

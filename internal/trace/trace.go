@@ -1,0 +1,206 @@
+// Package trace records structured execution events: phase transitions,
+// task dispatches and completions, calibrations, and adaptations. The
+// experiment harness reduces these logs into the tables and series the
+// paper's methodology figure implies, and the CSV/JSON exporters make runs
+// inspectable offline.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the GRASP layers.
+const (
+	KindPhaseStart  Kind = "phase_start" // Msg = phase name
+	KindPhaseEnd    Kind = "phase_end"   // Msg = phase name
+	KindDispatch    Kind = "dispatch"    // Task, Node
+	KindComplete    Kind = "complete"    // Task, Node, Dur
+	KindCalibrate   Kind = "calibrate"   // Node, Dur (sample time), Value (rank score)
+	KindRecalibrate Kind = "recalibrate" // Msg = reason
+	KindAdapt       Kind = "adapt"       // Msg = action taken
+	KindThreshold   Kind = "threshold"   // Value = observed/threshold ratio
+	KindNote        Kind = "note"        // Msg = freeform
+)
+
+// Event is one structured log record. Zero-valued fields are meaningless
+// for kinds that do not use them.
+type Event struct {
+	At    time.Duration `json:"at"`
+	Kind  Kind          `json:"kind"`
+	Proc  string        `json:"proc,omitempty"`
+	Node  string        `json:"node,omitempty"`
+	Task  int           `json:"task,omitempty"`
+	Dur   time.Duration `json:"dur,omitempty"`
+	Value float64       `json:"value,omitempty"`
+	Msg   string        `json:"msg,omitempty"`
+}
+
+// Log is an append-only event log. It is safe for concurrent use so the
+// local (goroutine) runtime can share one.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append records an event.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Len returns the number of events recorded.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of all events in append order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Filter returns the events of the given kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByKind returns how many events of each kind were recorded.
+func (l *Log) CountByKind() map[Kind]int {
+	counts := make(map[Kind]int)
+	for _, e := range l.Events() {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// Completions returns the completion events sorted by time.
+func (l *Log) Completions() []Event {
+	evs := l.Filter(KindComplete)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// WriteCSV renders the log as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ns", "kind", "proc", "node", "task", "dur_ns", "value", "msg"}); err != nil {
+		return err
+	}
+	for _, e := range l.Events() {
+		rec := []string{
+			strconv.FormatInt(int64(e.At), 10),
+			string(e.Kind),
+			e.Proc,
+			e.Node,
+			strconv.Itoa(e.Task),
+			strconv.FormatInt(int64(e.Dur), 10),
+			strconv.FormatFloat(e.Value, 'g', -1, 64),
+			e.Msg,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the log as a JSON array of events.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(l.Events())
+}
+
+// Bucket is one interval of a throughput timeline.
+type Bucket struct {
+	Start       time.Duration
+	Completions int
+}
+
+// Throughput reduces completion events into fixed-width buckets covering
+// [0, horizon). A non-positive width yields a single bucket.
+func (l *Log) Throughput(width, horizon time.Duration) []Bucket {
+	if width <= 0 {
+		width = horizon
+	}
+	if width <= 0 {
+		return nil
+	}
+	n := int(horizon/width) + 1
+	buckets := make([]Bucket, n)
+	for i := range buckets {
+		buckets[i].Start = time.Duration(i) * width
+	}
+	for _, e := range l.Filter(KindComplete) {
+		idx := int(e.At / width)
+		if idx >= 0 && idx < n {
+			buckets[idx].Completions++
+		}
+	}
+	return buckets
+}
+
+// PhaseSpan is the observed extent of one methodology phase.
+type PhaseSpan struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Phases pairs phase_start/phase_end events into spans, in start order.
+// Unclosed phases get End = -1.
+func (l *Log) Phases() []PhaseSpan {
+	var spans []PhaseSpan
+	open := make(map[string][]int) // name → indices of open spans
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case KindPhaseStart:
+			open[e.Msg] = append(open[e.Msg], len(spans))
+			spans = append(spans, PhaseSpan{Name: e.Msg, Start: e.At, End: -1})
+		case KindPhaseEnd:
+			if idxs := open[e.Msg]; len(idxs) > 0 {
+				spans[idxs[0]].End = e.At
+				open[e.Msg] = idxs[1:]
+			}
+		}
+	}
+	return spans
+}
+
+// String summarises the log for debugging.
+func (l *Log) String() string {
+	counts := l.CountByKind()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	s := fmt.Sprintf("trace.Log{%d events", l.Len())
+	for _, k := range kinds {
+		s += fmt.Sprintf(" %s=%d", k, counts[Kind(k)])
+	}
+	return s + "}"
+}

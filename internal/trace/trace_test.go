@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	l := New()
+	l.Append(Event{At: 0, Kind: KindPhaseStart, Msg: "calibration"})
+	l.Append(Event{At: 1 * time.Second, Kind: KindCalibrate, Node: "n0", Dur: time.Second, Value: 1})
+	l.Append(Event{At: 2 * time.Second, Kind: KindPhaseEnd, Msg: "calibration"})
+	l.Append(Event{At: 2 * time.Second, Kind: KindPhaseStart, Msg: "execution"})
+	l.Append(Event{At: 3 * time.Second, Kind: KindDispatch, Node: "n0", Task: 1})
+	l.Append(Event{At: 4 * time.Second, Kind: KindComplete, Node: "n0", Task: 1, Dur: time.Second})
+	l.Append(Event{At: 5 * time.Second, Kind: KindComplete, Node: "n1", Task: 2, Dur: time.Second})
+	return l
+}
+
+func TestAppendAndLen(t *testing.T) {
+	l := sampleLog()
+	if l.Len() != 7 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if len(l.Events()) != 7 {
+		t.Errorf("Events len = %d", len(l.Events()))
+	}
+}
+
+func TestEventsIsCopy(t *testing.T) {
+	l := sampleLog()
+	evs := l.Events()
+	evs[0].Msg = "mutated"
+	if l.Events()[0].Msg == "mutated" {
+		t.Error("Events returned a view, not a copy")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := sampleLog()
+	if got := len(l.Filter(KindComplete)); got != 2 {
+		t.Errorf("completes = %d", got)
+	}
+	if got := len(l.Filter(KindAdapt)); got != 0 {
+		t.Errorf("adapts = %d", got)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	counts := sampleLog().CountByKind()
+	if counts[KindPhaseStart] != 2 || counts[KindComplete] != 2 || counts[KindCalibrate] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestCompletionsSorted(t *testing.T) {
+	l := New()
+	l.Append(Event{At: 5 * time.Second, Kind: KindComplete, Task: 2})
+	l.Append(Event{At: 1 * time.Second, Kind: KindComplete, Task: 1})
+	cs := l.Completions()
+	if cs[0].Task != 1 || cs[1].Task != 2 {
+		t.Errorf("completions not sorted: %v", cs)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLog().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 { // header + 7 events
+		t.Errorf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "at_ns,kind") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "calibrate") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := sampleLog()
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != l.Len() {
+		t.Errorf("round trip lost events: %d vs %d", len(back), l.Len())
+	}
+	if back[1].Kind != KindCalibrate || back[1].Node != "n0" {
+		t.Errorf("event mangled: %+v", back[1])
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	l := New()
+	for _, at := range []time.Duration{
+		100 * time.Millisecond, 900 * time.Millisecond, // bucket 0
+		1100 * time.Millisecond,                          // bucket 1
+		2500 * time.Millisecond, 2900 * time.Millisecond, // bucket 2
+	} {
+		l.Append(Event{At: at, Kind: KindComplete})
+	}
+	buckets := l.Throughput(time.Second, 3*time.Second)
+	want := []int{2, 1, 2, 0}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %d, want %d", len(buckets), len(want))
+	}
+	for i, w := range want {
+		if buckets[i].Completions != w {
+			t.Errorf("bucket %d = %d, want %d", i, buckets[i].Completions, w)
+		}
+		if buckets[i].Start != time.Duration(i)*time.Second {
+			t.Errorf("bucket %d start = %v", i, buckets[i].Start)
+		}
+	}
+}
+
+func TestThroughputDegenerate(t *testing.T) {
+	l := New()
+	if l.Throughput(0, 0) != nil {
+		t.Error("zero width and horizon should be nil")
+	}
+	l.Append(Event{At: time.Second, Kind: KindComplete})
+	b := l.Throughput(0, 2*time.Second) // width defaults to horizon
+	if len(b) == 0 || b[0].Completions != 1 {
+		t.Errorf("buckets = %v", b)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	spans := sampleLog().Phases()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Name != "calibration" || spans[0].Start != 0 || spans[0].End != 2*time.Second {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Name != "execution" || spans[1].End != -1 {
+		t.Errorf("span 1 should be open: %+v", spans[1])
+	}
+}
+
+func TestPhasesRepeatedName(t *testing.T) {
+	l := New()
+	l.Append(Event{At: 0, Kind: KindPhaseStart, Msg: "calibration"})
+	l.Append(Event{At: time.Second, Kind: KindPhaseEnd, Msg: "calibration"})
+	l.Append(Event{At: 2 * time.Second, Kind: KindPhaseStart, Msg: "calibration"})
+	l.Append(Event{At: 3 * time.Second, Kind: KindPhaseEnd, Msg: "calibration"})
+	spans := l.Phases()
+	if len(spans) != 2 || spans[0].End != time.Second || spans[1].Start != 2*time.Second {
+		t.Errorf("spans = %v", spans)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Append(Event{Kind: KindNote})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d, want 800", l.Len())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sampleLog().String()
+	if !strings.Contains(s, "7 events") || !strings.Contains(s, "complete=2") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,62 @@
+package vsim_test
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/vsim"
+)
+
+// Example shows the kernel's run-to-block discipline: two processes
+// communicate over an unbuffered channel in virtual time, and the whole
+// run is deterministic.
+func Example() {
+	env := vsim.New()
+	ch := vsim.NewChan[string](env, "greetings", 0)
+
+	env.Go("producer", func(p *vsim.Proc) {
+		p.Sleep(2 * time.Second)
+		ch.Send(p, "hello")
+		ch.Close(p)
+	})
+	env.Go("consumer", func(p *vsim.Proc) {
+		for {
+			v, ok := ch.Recv(p)
+			if !ok {
+				return
+			}
+			fmt.Printf("%v: got %q\n", env.Now(), v)
+		}
+	})
+
+	if err := env.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println("finished at", env.Now())
+	// Output:
+	// 2s: got "hello"
+	// finished at 2s
+}
+
+// ExampleResource shows FIFO contention: three processes share a
+// single-slot resource, so their one-second holds serialise.
+func ExampleResource() {
+	env := vsim.New()
+	cpu := vsim.NewResource(env, "cpu", 1)
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go(fmt.Sprintf("p%d", i), func(p *vsim.Proc) {
+			cpu.Acquire(p)
+			p.Sleep(time.Second)
+			cpu.Release(p)
+			fmt.Printf("p%d done at %v\n", i, env.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// p0 done at 1s
+	// p1 done at 2s
+	// p2 done at 3s
+}

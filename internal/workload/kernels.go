@@ -1,0 +1,105 @@
+package workload
+
+import "math"
+
+// Real compute kernels used by the examples on the local (goroutine)
+// runtime, where tasks burn actual CPU instead of virtual time.
+
+// MandelbrotRow computes one row of a Mandelbrot-set escape-time image over
+// the region [-2.5, 1] × [-1, 1]. It returns the iteration counts for each
+// of width pixels. Rows near the set's interior cost far more than rows in
+// the exterior, giving the farm a naturally irregular workload.
+func MandelbrotRow(row, width, height, maxIter int) []uint16 {
+	out := make([]uint16, width)
+	if width <= 0 || height <= 0 {
+		return out
+	}
+	ci := -1.0 + 2.0*float64(row)/float64(height)
+	for x := 0; x < width; x++ {
+		cr := -2.5 + 3.5*float64(x)/float64(width)
+		var zr, zi float64
+		var it int
+		for it = 0; it < maxIter; it++ {
+			zr2, zi2 := zr*zr, zi*zi
+			if zr2+zi2 > 4 {
+				break
+			}
+			zr, zi = zr2-zi2+cr, 2*zr*zi+ci
+		}
+		out[x] = uint16(it)
+	}
+	return out
+}
+
+// Convolve1D applies a dense kernel to a signal with zero padding,
+// returning a slice of len(signal). It is the workhorse stage of the image
+// pipeline example.
+func Convolve1D(signal, kernel []float64) []float64 {
+	out := make([]float64, len(signal))
+	if len(kernel) == 0 {
+		copy(out, signal)
+		return out
+	}
+	half := len(kernel) / 2
+	for i := range signal {
+		var acc float64
+		for k, w := range kernel {
+			j := i + k - half
+			if j >= 0 && j < len(signal) {
+				acc += signal[j] * w
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// GaussianKernel returns a normalised 1-D Gaussian kernel of the given
+// radius and sigma (2·radius+1 taps).
+func GaussianKernel(radius int, sigma float64) []float64 {
+	if radius < 0 {
+		radius = 0
+	}
+	if sigma <= 0 {
+		sigma = 1
+	}
+	k := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// Integrate numerically integrates f over [a, b] with n trapezoids — the
+// CPU-burning kernel of the parameter-sweep example.
+func Integrate(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	h := (b - a) / float64(n)
+	sum := (f(a) + f(b)) / 2
+	for i := 1; i < n; i++ {
+		sum += f(a + float64(i)*h)
+	}
+	return sum * h
+}
+
+// Spin burns approximately the given number of floating-point operations
+// and returns a value that depends on all of them, preventing the work from
+// being optimised away. It calibrates local-runtime task costs.
+func Spin(ops int) float64 {
+	acc := 1.0001
+	for i := 0; i < ops; i++ {
+		acc = acc*1.0000001 + 1e-9
+		if acc > 2 {
+			acc -= 1
+		}
+	}
+	return acc
+}
