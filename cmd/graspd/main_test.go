@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"grasp/internal/loadgen"
+)
+
+// TestDaemonEndToEnd drives the daemon's real handler stack with the
+// loadgen driver: one graspd instance, several concurrent streaming jobs,
+// slow tail traffic to force a mid-stream breach, and an exactly-once
+// check on every result.
+func TestDaemonEndToEnd(t *testing.T) {
+	h, s := newDaemon(4, 6, 4, 3)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	summary := loadgen.Driver{
+		BaseURL:     srv.URL,
+		Jobs:        3,
+		TasksPerJob: 60,
+		Batch:       10,
+		SleepUS:     300,
+		Window:      6,
+		PollEvery:   2 * time.Millisecond,
+		Timeout:     60 * time.Second,
+		Seed:        42,
+	}.Run()
+
+	if !summary.OK() {
+		t.Fatalf("load run failed: %+v", summary)
+	}
+	if summary.Tasks != 180 || summary.Completed != 180 {
+		t.Fatalf("completed %d of %d tasks", summary.Completed, summary.Tasks)
+	}
+	for _, j := range summary.Jobs {
+		if j.MaxInFlight == 0 || j.MaxInFlight > 6 {
+			t.Errorf("job %s max_in_flight = %d, want in (0, 6]: window not enforced", j.Name, j.MaxInFlight)
+		}
+		if j.Duplicates != 0 {
+			t.Errorf("job %s saw %d duplicate results", j.Name, j.Duplicates)
+		}
+	}
+
+	// The daemon calibrated once and reused the ranking for later jobs.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody := string(raw)
+	for _, want := range []string{
+		"service_calibrations_total 1",
+		"service_calibration_reuse_total 2",
+		"service_jobs_total 3",
+		"service_tasks_completed_total 180",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+	_ = s
+}
+
+// TestDaemonBreachUnderSlowdown submits fast warm-up traffic then a slow
+// tail directly through the HTTP API and verifies the detector breached
+// and recalibrated mid-stream without losing tasks.
+func TestDaemonBreachUnderSlowdown(t *testing.T) {
+	h, _ := newDaemon(3, 5, 3, 3)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	post := func(path, body string, want int) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	post("/api/v1/jobs", `{"name":"slowdown","window":5}`, http.StatusCreated)
+	var fast, slow strings.Builder
+	fast.WriteString(`[`)
+	slow.WriteString(`[`)
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			fast.WriteString(",")
+			slow.WriteString(",")
+		}
+		writeTask(&fast, i, 100)
+		writeTask(&slow, 20+i, 30000)
+	}
+	fast.WriteString(`]`)
+	slow.WriteString(`]`)
+	post("/api/v1/jobs/slowdown/tasks", fast.String(), http.StatusAccepted)
+	post("/api/v1/jobs/slowdown/tasks", slow.String(), http.StatusAccepted)
+	post("/api/v1/jobs/slowdown/close", ``, http.StatusOK)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/api/v1/jobs/slowdown")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State          string `json:"state"`
+			Completed      int    `json:"completed"`
+			Breaches       int    `json:"breaches"`
+			Recalibrations int    `json:"recalibrations"`
+			MaxInFlight    int    `json:"max_in_flight"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			if st.Completed != 40 {
+				t.Errorf("completed = %d, want 40", st.Completed)
+			}
+			if st.Breaches == 0 || st.Recalibrations == 0 {
+				t.Errorf("breaches=%d recalibrations=%d: detector never adapted mid-stream", st.Breaches, st.Recalibrations)
+			}
+			if st.MaxInFlight > 5 {
+				t.Errorf("max_in_flight = %d exceeds window 5", st.MaxInFlight)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s with %d completed", st.State, st.Completed)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// writeTask appends one task JSON object.
+func writeTask(b *strings.Builder, id int, sleepUS int) {
+	fmt.Fprintf(b, `{"id":%d,"sleep_us":%d}`, id, sleepUS)
+}

@@ -7,4 +7,26 @@
 // inventory), the runnable examples under examples/, and the experiment
 // CLIs under cmd/. The root-level bench_test.go regenerates every
 // experiment table as a testing.B benchmark.
+//
+// # Streaming layer
+//
+// Above the batch skeletons sits a streaming service stack that keeps the
+// adaptive farm alive under continuous traffic:
+//
+//   - skel/farm.RunStream is a long-lived demand-driven farm fed from a
+//     channel. Admission is bounded by an in-flight window (credits), so
+//     backpressure reaches the producer; detector breaches re-calibrate
+//     the farm in place — re-weighting workers from live execution times,
+//     the streaming analogue of Algorithm 2's feedback to Algorithm 1 —
+//     and externally injected StreamUpdate values on a control channel
+//     adjust weights and thresholds without draining.
+//   - service multiplexes many concurrent named jobs onto one shared
+//     runtime and platform, calibrating once and reusing the ranking
+//     across jobs, deriving each job's threshold from its own warm-up
+//     completions, and exporting operational counters (metrics.Registry).
+//   - cmd/graspd serves that service over a JSON HTTP API (submit jobs,
+//     stream tasks, poll results, /metrics), and its -drive mode uses
+//     loadgen.Driver to hammer a running daemon with concurrent jobs,
+//     verifying exactly-once completion. See README.md for the API and a
+//     curl walkthrough.
 package grasp

@@ -1,0 +1,3 @@
+module grasp
+
+go 1.22

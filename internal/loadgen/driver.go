@@ -1,0 +1,274 @@
+package loadgen
+
+// This file extends loadgen from modelling external pressure (the traces
+// above) to generating it: an HTTP load driver that hammers a running
+// graspd daemon with concurrent streaming jobs — the tool for observing
+// the service layer under the continuous-traffic regime the roadmap
+// targets.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Driver submits concurrent streaming jobs to a graspd daemon and drives
+// each to completion. All fields besides BaseURL are optional.
+type Driver struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Client is the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+	// Jobs is how many concurrent jobs to run (default 3).
+	Jobs int
+	// TasksPerJob is the stream length per job (default 200).
+	TasksPerJob int
+	// Batch is how many tasks each POST carries (default 20).
+	Batch int
+	// SleepUS is the mean simulated task duration; per-task durations are
+	// drawn uniformly from [0.5×, 1.5×] (default 500).
+	SleepUS int64
+	// Window overrides the per-job in-flight window (0: server default).
+	Window int
+	// PollEvery is the result-poll interval (default 20ms).
+	PollEvery time.Duration
+	// Timeout bounds the whole run (default 2 minutes).
+	Timeout time.Duration
+	// Seed makes the task-duration jitter reproducible.
+	Seed int64
+	// JobPrefix names the jobs "<prefix>-<i>" (default "load").
+	JobPrefix string
+}
+
+func (d Driver) withDefaults() Driver {
+	if d.Client == nil {
+		d.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if d.Jobs <= 0 {
+		d.Jobs = 3
+	}
+	if d.TasksPerJob <= 0 {
+		d.TasksPerJob = 200
+	}
+	if d.Batch <= 0 {
+		d.Batch = 20
+	}
+	if d.SleepUS <= 0 {
+		d.SleepUS = 500
+	}
+	if d.PollEvery <= 0 {
+		d.PollEvery = 20 * time.Millisecond
+	}
+	if d.Timeout <= 0 {
+		d.Timeout = 2 * time.Minute
+	}
+	if d.JobPrefix == "" {
+		d.JobPrefix = "load"
+	}
+	return d
+}
+
+// JobOutcome summarises one driven job.
+type JobOutcome struct {
+	Name           string
+	Submitted      int
+	Completed      int
+	Duplicates     int
+	Breaches       int
+	Recalibrations int
+	MaxInFlight    int
+}
+
+// DriveSummary is the outcome of a whole load run.
+type DriveSummary struct {
+	Jobs      []JobOutcome
+	Tasks     int
+	Completed int
+	Elapsed   time.Duration
+	Errors    []string
+}
+
+// OK reports whether every submitted task completed exactly once with no
+// transport errors.
+func (s DriveSummary) OK() bool {
+	if len(s.Errors) > 0 || s.Completed != s.Tasks {
+		return false
+	}
+	for _, j := range s.Jobs {
+		if j.Duplicates > 0 || j.Completed != j.Submitted {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the load scenario: create Jobs jobs, stream TasksPerJob
+// tasks into each in Batch-sized POSTs, close the inputs, and poll results
+// until every job drains (or Timeout passes).
+func (d Driver) Run() DriveSummary {
+	d = d.withDefaults()
+	start := time.Now()
+	deadline := start.Add(d.Timeout)
+
+	var (
+		mu      sync.Mutex
+		summary DriveSummary
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		summary.Errors = append(summary.Errors, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]JobOutcome, d.Jobs)
+	for k := 0; k < d.Jobs; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("%s-%d", d.JobPrefix, k)
+			outcomes[k] = d.driveJob(name, int64(k), deadline, fail)
+		}()
+	}
+	wg.Wait()
+
+	summary.Jobs = outcomes
+	for _, o := range outcomes {
+		summary.Tasks += o.Submitted
+		summary.Completed += o.Completed
+	}
+	summary.Elapsed = time.Since(start)
+	return summary
+}
+
+// driveJob runs one job end to end.
+func (d Driver) driveJob(name string, salt int64, deadline time.Time, fail func(string, ...any)) JobOutcome {
+	out := JobOutcome{Name: name}
+	rng := rand.New(rand.NewSource(d.Seed ^ (salt + 1)))
+
+	create := map[string]any{"name": name}
+	if d.Window > 0 {
+		create["window"] = d.Window
+	}
+	if err := d.post("/api/v1/jobs", create, nil); err != nil {
+		fail("create %s: %v", name, err)
+		return out
+	}
+
+	type taskSpec struct {
+		ID      int   `json:"id"`
+		SleepUS int64 `json:"sleep_us"`
+	}
+	for base := 0; base < d.TasksPerJob; base += d.Batch {
+		n := d.Batch
+		if base+n > d.TasksPerJob {
+			n = d.TasksPerJob - base
+		}
+		batch := make([]taskSpec, n)
+		for i := range batch {
+			jitter := 0.5 + rng.Float64()
+			batch[i] = taskSpec{ID: base + i, SleepUS: int64(float64(d.SleepUS) * jitter)}
+		}
+		if err := d.post("/api/v1/jobs/"+name+"/tasks", map[string]any{"tasks": batch}, nil); err != nil {
+			fail("push %s: %v", name, err)
+			return out
+		}
+		out.Submitted += n
+	}
+	if err := d.post("/api/v1/jobs/"+name+"/close", nil, nil); err != nil {
+		fail("close %s: %v", name, err)
+		return out
+	}
+
+	seen := make(map[int]bool, d.TasksPerJob)
+	cursor := 0
+	for {
+		var poll struct {
+			Results []struct {
+				ID int `json:"id"`
+			} `json:"results"`
+			Next  int    `json:"next"`
+			State string `json:"state"`
+		}
+		if err := d.get(fmt.Sprintf("/api/v1/jobs/%s/results?after=%d", name, cursor), &poll); err != nil {
+			fail("poll %s: %v", name, err)
+			return out
+		}
+		for _, r := range poll.Results {
+			if seen[r.ID] {
+				out.Duplicates++
+				continue
+			}
+			seen[r.ID] = true
+			out.Completed++
+		}
+		cursor = poll.Next
+		if poll.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("timeout %s: %d/%d completed", name, out.Completed, out.Submitted)
+			return out
+		}
+		time.Sleep(d.PollEvery)
+	}
+
+	var status struct {
+		Breaches       int `json:"breaches"`
+		Recalibrations int `json:"recalibrations"`
+		MaxInFlight    int `json:"max_in_flight"`
+	}
+	if err := d.get("/api/v1/jobs/"+name, &status); err != nil {
+		fail("status %s: %v", name, err)
+		return out
+	}
+	out.Breaches = status.Breaches
+	out.Recalibrations = status.Recalibrations
+	out.MaxInFlight = status.MaxInFlight
+	return out
+}
+
+// post sends body as JSON and optionally decodes the reply.
+func (d Driver) post(path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	resp, err := d.Client.Post(d.BaseURL+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+// get fetches path and decodes the reply.
+func (d Driver) get(path string, out any) error {
+	resp, err := d.Client.Get(d.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+// decodeReply checks the status and decodes JSON into out when non-nil.
+func decodeReply(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

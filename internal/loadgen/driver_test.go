@@ -1,0 +1,46 @@
+package loadgen_test
+
+// The driver's happy path is exercised end-to-end in cmd/graspd's tests
+// (driving a real handler stack); here we pin down its failure reporting
+// and defaulting, which must not depend on a live daemon.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"grasp/internal/loadgen"
+)
+
+func TestDriverReportsTransportErrors(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // connection refused from here on
+	summary := loadgen.Driver{
+		BaseURL: srv.URL,
+		Jobs:    2,
+		Timeout: 2 * time.Second,
+	}.Run()
+	if summary.OK() {
+		t.Fatal("driver reported success against a dead server")
+	}
+	if len(summary.Errors) == 0 {
+		t.Fatal("no errors recorded")
+	}
+	if summary.Completed != 0 || summary.Tasks != 0 {
+		t.Errorf("phantom work recorded: %+v", summary)
+	}
+}
+
+func TestDriverRejectsAPIDissent(t *testing.T) {
+	// A server that answers everything with an error payload: the driver
+	// must surface the HTTP status, not loop forever.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"nope"}`, http.StatusConflict)
+	}))
+	defer srv.Close()
+	summary := loadgen.Driver{BaseURL: srv.URL, Jobs: 1, Timeout: 2 * time.Second}.Run()
+	if summary.OK() || len(summary.Errors) == 0 {
+		t.Fatalf("driver accepted a refusing server: %+v", summary)
+	}
+}

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer spins up the full handler stack over a small service.
+func testServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	s := New(Config{Workers: 2, DefaultWindow: 4, WarmupTasks: 2})
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+// doJSON posts body to url and decodes the response into out (when non-nil).
+func doJSON(t *testing.T, method, url string, body string, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d (want %d): %s", method, url, resp.StatusCode, wantStatus, buf.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %s: %v", buf.String(), err)
+		}
+	}
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	srv, _ := testServer(t)
+	base := srv.URL
+
+	var created JobStatus
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"alpha","window":4}`, http.StatusCreated, &created)
+	if created.Name != "alpha" || created.State != JobAccepting || created.Window != 4 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	var accepted struct {
+		Accepted int `json:"accepted"`
+	}
+	tasks := `{"tasks":[{"id":1,"sleep_us":50},{"id":2,"sleep_us":50},{"id":3,"sleep_us":50}]}`
+	doJSON(t, "POST", base+"/api/v1/jobs/alpha/tasks", tasks, http.StatusAccepted, &accepted)
+	if accepted.Accepted != 3 {
+		t.Fatalf("accepted = %d", accepted.Accepted)
+	}
+	// Bare-array form is accepted too.
+	doJSON(t, "POST", base+"/api/v1/jobs/alpha/tasks", `[{"id":4},{"id":5}]`, http.StatusAccepted, &accepted)
+	if accepted.Accepted != 2 {
+		t.Fatalf("accepted = %d", accepted.Accepted)
+	}
+
+	doJSON(t, "POST", base+"/api/v1/jobs/alpha/close", ``, http.StatusOK, nil)
+
+	// Poll results until the job drains.
+	deadline := time.Now().Add(10 * time.Second)
+	var poll struct {
+		Results []TaskResult `json:"results"`
+		Next    int          `json:"next"`
+		State   string       `json:"state"`
+	}
+	got := make(map[int]bool)
+	cursor := 0
+	for {
+		doJSON(t, "GET", fmt.Sprintf("%s/api/v1/jobs/alpha/results?after=%d", base, cursor), ``, http.StatusOK, &poll)
+		for _, r := range poll.Results {
+			if got[r.ID] {
+				t.Fatalf("task %d returned twice across polls", r.ID)
+			}
+			got[r.ID] = true
+		}
+		cursor = poll.Next
+		if poll.State == JobDone && len(got) == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never drained: state %s, %d results", poll.State, len(got))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var status JobStatus
+	doJSON(t, "GET", base+"/api/v1/jobs/alpha", ``, http.StatusOK, &status)
+	if status.Completed != 5 || status.State != JobDone {
+		t.Fatalf("final status = %+v", status)
+	}
+
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	doJSON(t, "GET", base+"/api/v1/jobs", ``, http.StatusOK, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].Name != "alpha" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	base := srv.URL
+
+	doJSON(t, "GET", base+"/api/v1/jobs/ghost", ``, http.StatusNotFound, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/ghost/tasks", `[{"id":1}]`, http.StatusNotFound, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs", `{not json`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":""}`, http.StatusBadRequest, nil)
+
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"e"}`, http.StatusCreated, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"e"}`, http.StatusConflict, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/tasks", `[]`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/tasks", `{"tasks":[{"id":-1}]}`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/tasks", `{"tasks":[{"id":1,"sleep_us":-5}]}`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/tasks", `{"tasks":[{"id":1,"spin":9000000000}]}`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/tasks", `{"tasks":[{"id":1,"bogus":true}]}`, http.StatusBadRequest, nil)
+	doJSON(t, "GET", base+"/api/v1/jobs/e/results?after=banana", ``, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/close", ``, http.StatusOK, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/close", ``, http.StatusConflict, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/e/tasks", `[{"id":1}]`, http.StatusConflict, nil)
+}
+
+func TestHTTPRemoveJob(t *testing.T) {
+	srv, s := testServer(t)
+	base := srv.URL
+
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"rm"}`, http.StatusCreated, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/rm/tasks", `[{"id":1}]`, http.StatusAccepted, nil)
+
+	// A job still accepting (or draining) cannot be removed.
+	doJSON(t, "DELETE", base+"/api/v1/jobs/rm", ``, http.StatusConflict, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/rm/close", ``, http.StatusOK, nil)
+	j, _ := s.Job("rm")
+	waitDone(t, j, 5*time.Second)
+
+	doJSON(t, "DELETE", base+"/api/v1/jobs/rm", ``, http.StatusOK, nil)
+	doJSON(t, "GET", base+"/api/v1/jobs/rm", ``, http.StatusNotFound, nil)
+	doJSON(t, "DELETE", base+"/api/v1/jobs/rm", ``, http.StatusNotFound, nil)
+	// The name is free again after removal.
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"rm"}`, http.StatusCreated, nil)
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	srv, s := testServer(t)
+	var health struct {
+		OK      bool `json:"ok"`
+		Workers int  `json:"workers"`
+	}
+	doJSON(t, "GET", srv.URL+"/healthz", ``, http.StatusOK, &health)
+	if !health.OK || health.Workers != 2 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	doJSON(t, "POST", srv.URL+"/api/v1/jobs", `{"name":"m"}`, http.StatusCreated, nil)
+	doJSON(t, "POST", srv.URL+"/api/v1/jobs/m/tasks", `[{"id":1}]`, http.StatusAccepted, nil)
+	doJSON(t, "POST", srv.URL+"/api/v1/jobs/m/close", ``, http.StatusOK, nil)
+	j, _ := s.Job("m")
+	waitDone(t, j, 5*time.Second)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"service_jobs_total 1",
+		"service_tasks_submitted_total 1",
+		"service_tasks_completed_total 1",
+		"service_calibrations_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// FuzzSubmit fuzzes the task-submission decoder: it must never panic and
+// must only ever accept batches within the documented bounds.
+func FuzzSubmit(f *testing.F) {
+	f.Add([]byte(`[{"id":1,"cost":2,"sleep_us":100}]`))
+	f.Add([]byte(`{"tasks":[{"id":1},{"id":2,"spin":50}]}`))
+	f.Add([]byte(`{"tasks":[]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(` [ {"id": 0} ] trailing`))
+	f.Add([]byte(`{"tasks":[{"id":-3}]}`))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"id":1,"sleep_us":999999999999}]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		specs, err := decodeTasks(body)
+		if err != nil {
+			if specs != nil {
+				t.Fatalf("error %v with non-nil specs", err)
+			}
+			return
+		}
+		if len(specs) == 0 || len(specs) > maxTasksPerPush {
+			t.Fatalf("accepted batch of %d tasks", len(specs))
+		}
+		for _, ts := range specs {
+			if ts.ID < 0 || ts.SleepUS < 0 || ts.Spin < 0 || ts.Cost < 0 {
+				t.Fatalf("accepted invalid task %+v", ts)
+			}
+			if ts.SleepUS > maxSleepUS || ts.Spin > maxSpin {
+				t.Fatalf("accepted over-budget task %+v", ts)
+			}
+		}
+	})
+}

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/farm"
+)
+
+// JobSpec are the per-job knobs a submitter may set.
+type JobSpec struct {
+	// Window is the job's bounded in-flight window (default the service's
+	// DefaultWindow).
+	Window int `json:"window,omitempty"`
+	// ThresholdFactor sets Z = factor × warm-up mean (default the
+	// service's).
+	ThresholdFactor float64 `json:"threshold_factor,omitempty"`
+	// WarmupTasks is how many completions seed the threshold (default the
+	// service's).
+	WarmupTasks int `json:"warmup,omitempty"`
+	// MaxResults bounds how many completed results the job retains for
+	// polling; older results are discarded and the results cursor advances
+	// past them (default 100000, capped at 1000000). This is the retention
+	// bound that keeps a long-lived job's memory finite.
+	MaxResults int `json:"max_results,omitempty"`
+}
+
+func (js JobSpec) withDefaults(cfg Config) JobSpec {
+	if js.Window <= 0 {
+		js.Window = cfg.DefaultWindow
+	}
+	if js.ThresholdFactor <= 0 {
+		js.ThresholdFactor = cfg.ThresholdFactor
+	}
+	if js.WarmupTasks <= 0 {
+		js.WarmupTasks = cfg.WarmupTasks
+	}
+	if js.MaxResults <= 0 {
+		js.MaxResults = 100_000
+	}
+	if js.MaxResults > 1_000_000 {
+		js.MaxResults = 1_000_000
+	}
+	return js
+}
+
+// TaskSpec is one unit of submitted work in wire form. SleepUS models
+// IO-bound work (the closure sleeps), Spin models CPU-bound work (a busy
+// loop); both may be combined. The closure returns the task ID.
+type TaskSpec struct {
+	ID      int     `json:"id"`
+	Cost    float64 `json:"cost,omitempty"`
+	SleepUS int64   `json:"sleep_us,omitempty"`
+	Spin    int64   `json:"spin,omitempty"`
+}
+
+// task converts the wire form into a platform task.
+func (ts TaskSpec) task() platform.Task {
+	cost := ts.Cost
+	if cost <= 0 {
+		cost = 1
+	}
+	return platform.Task{ID: ts.ID, Cost: cost, Fn: func() any {
+		if ts.SleepUS > 0 {
+			time.Sleep(time.Duration(ts.SleepUS) * time.Microsecond)
+		}
+		if ts.Spin > 0 {
+			x := 1.0
+			for i := int64(0); i < ts.Spin; i++ {
+				x += x * 1e-9
+			}
+			_ = x
+		}
+		return ts.ID
+	}}
+}
+
+// TaskResult is one completed task in wire form.
+type TaskResult struct {
+	ID     int   `json:"id"`
+	Worker int   `json:"worker"`
+	Micros int64 `json:"micros"`
+}
+
+// Job states.
+const (
+	JobAccepting = "accepting"
+	JobDraining  = "draining"
+	JobDone      = "done"
+)
+
+// JobStatus is a point-in-time snapshot of a job, JSON-ready.
+type JobStatus struct {
+	Name           string `json:"name"`
+	State          string `json:"state"`
+	Submitted      int    `json:"submitted"`
+	Completed      int    `json:"completed"`
+	InFlight       int    `json:"in_flight"`
+	Window         int    `json:"window"`
+	ZMicros        int64  `json:"z_micros"`
+	Breaches       int    `json:"breaches"`
+	Recalibrations int    `json:"recalibrations"`
+	Failures       int    `json:"failures"`
+	MaxInFlight    int    `json:"max_in_flight"`
+	MakespanMicros int64  `json:"makespan_micros"`
+}
+
+// Job is one named streaming workload multiplexed onto the service.
+type Job struct {
+	name    string
+	svc     *Service
+	spec    JobSpec
+	in      rt.Chan
+	control rt.Chan
+	// det is constructed by the service and then owned by the farmer; the
+	// job never touches it after submission (Status reads zMicros instead).
+	det  *monitor.Detector
+	done chan struct{}
+
+	// sendMu serialises Push and CloseInput so the input channel is never
+	// closed under a blocked sender.
+	sendMu sync.Mutex
+
+	mu             sync.Mutex
+	state          string
+	submitted      int
+	completed      int
+	breaches       int
+	recalibrations int
+	zMicros        int64
+	warmTotal      time.Duration
+	warmSeen       int
+	zInstalled     bool
+	results        []TaskResult
+	resultsBase    int // results dropped by the retention bound
+	rep            farm.StreamReport
+}
+
+// Name returns the job's name.
+func (j *Job) Name() string { return j.name }
+
+// Done is closed when the job's stream farm has fully drained.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Push submits tasks to the job, blocking under backpressure (the stream
+// farm's in-flight window plus the input buffer are both bounded). It
+// returns how many tasks were accepted.
+func (j *Job) Push(specs []TaskSpec) (int, error) {
+	j.sendMu.Lock()
+	defer j.sendMu.Unlock()
+	j.mu.Lock()
+	if state := j.state; state != JobAccepting {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("service: job %q is %s, not accepting tasks", j.name, state)
+	}
+	j.submitted += len(specs)
+	j.mu.Unlock()
+	for _, ts := range specs {
+		j.in.Send(nil, ts.task()) // local channels ignore the ctx
+	}
+	j.svc.reg.Counter("service_tasks_submitted_total").Add(int64(len(specs)))
+	return len(specs), nil
+}
+
+// CloseInput ends submission; the job drains its in-flight tasks and then
+// completes. Closing an already-closed job is an error for callers but
+// harmless.
+func (j *Job) CloseInput() error {
+	j.sendMu.Lock()
+	defer j.sendMu.Unlock()
+	j.mu.Lock()
+	if state := j.state; state != JobAccepting {
+		j.mu.Unlock()
+		return fmt.Errorf("service: job %q already %s", j.name, state)
+	}
+	j.state = JobDraining
+	j.mu.Unlock()
+	j.in.Close(nil)
+	return nil
+}
+
+// onResult records a completion and, during warm-up, accumulates times
+// toward the live threshold installation.
+func (j *Job) onResult(res platform.Result) {
+	j.svc.reg.Counter("service_tasks_completed_total").Inc()
+	j.mu.Lock()
+	j.completed++
+	j.results = append(j.results, TaskResult{
+		ID:     res.Task.ID,
+		Worker: res.Worker,
+		Micros: res.Time.Microseconds(),
+	})
+	// Enforce the retention bound with slack so the copy amortises: trim
+	// back to MaxResults once the overshoot reaches a quarter of it.
+	if slack := j.spec.MaxResults / 4; len(j.results) > j.spec.MaxResults+max(slack, 1) {
+		drop := len(j.results) - j.spec.MaxResults
+		j.resultsBase += drop
+		j.results = append(j.results[:0:0], j.results[drop:]...)
+	}
+	var install time.Duration
+	if !j.zInstalled {
+		j.warmTotal += res.Time
+		j.warmSeen++
+		if j.warmSeen >= j.spec.WarmupTasks {
+			mean := j.warmTotal / time.Duration(j.warmSeen)
+			install = time.Duration(float64(mean) * j.spec.ThresholdFactor)
+			if install <= 0 {
+				install = time.Microsecond
+			}
+			j.zInstalled = true
+			j.zMicros = install.Microseconds()
+		}
+	}
+	j.mu.Unlock()
+	if install > 0 {
+		// The farmer polls the control channel between messages; TrySend
+		// from inside OnResult (which runs in the farmer) cannot block.
+		j.control.TrySend(nil, farm.StreamUpdate{Z: install, ResetDetector: true})
+		j.svc.reg.Counter("service_thresholds_installed_total").Inc()
+	}
+}
+
+// onRecalibrate counts the breach and defers to the stream farm's built-in
+// reweighting.
+func (j *Job) onRecalibrate(farm.BreachInfo) (farm.StreamUpdate, bool) {
+	j.svc.reg.Counter("service_breaches_total").Inc()
+	j.svc.reg.Counter("service_recalibrations_total").Inc()
+	j.mu.Lock()
+	j.breaches++
+	j.recalibrations++
+	j.mu.Unlock()
+	return farm.StreamUpdate{}, false
+}
+
+// finish stores the final report and marks the job done.
+func (j *Job) finish(rep farm.StreamReport) {
+	j.mu.Lock()
+	j.rep = rep
+	j.state = JobDone
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		Name:           j.name,
+		State:          j.state,
+		Submitted:      j.submitted,
+		Completed:      j.completed,
+		InFlight:       j.submitted - j.completed,
+		Window:         j.spec.Window,
+		ZMicros:        j.zMicros,
+		Breaches:       j.breaches,
+		Recalibrations: j.recalibrations,
+	}
+	if j.state == JobDone {
+		st.Failures = j.rep.Failures
+		st.MaxInFlight = j.rep.MaxInFlight
+		st.MakespanMicros = j.rep.Makespan.Microseconds()
+		// Breaches/Recalibrations stay the job's own breach-driven counts:
+		// the farm report additionally counts control updates (the warm-up
+		// threshold install), which would make the numbers jump at
+		// completion for jobs that never adapted.
+	}
+	return st
+}
+
+// Results returns completed results from cursor after onward plus the
+// next cursor value. Cursors predating the retention bound are advanced
+// to the oldest retained result, so a slow poller loses trimmed results
+// but never stalls.
+func (j *Job) Results(after int) ([]TaskResult, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if after < j.resultsBase {
+		after = j.resultsBase
+	}
+	if after > j.resultsBase+len(j.results) {
+		after = j.resultsBase + len(j.results)
+	}
+	out := append([]TaskResult(nil), j.results[after-j.resultsBase:]...)
+	return out, after + len(out)
+}
+
+// Report returns the final stream report (zero until the job is done).
+func (j *Job) Report() farm.StreamReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rep
+}

@@ -1,0 +1,289 @@
+// Package service multiplexes many concurrent named streaming jobs onto one
+// shared runtime and platform — the layer that turns the adaptive task farm
+// from a batch program into a long-running system serving continuous
+// traffic.
+//
+// Each job is a farm.RunStream instance fed through a bounded channel, so
+// submission backpressure propagates all the way to the caller. The service
+// calibrates the platform once (Algorithm 1 over spin probes) and reuses
+// the ranking's dispatch weights for every job; per-job thresholds are then
+// derived from each job's own warm-up tasks and installed live through the
+// stream farm's control channel, and detector breaches re-calibrate the
+// job's weights from live execution times without draining the stream.
+//
+// The service runs only on the real runtime (rt.Local): it exists to serve
+// actual traffic, while the simulator remains the domain of the experiment
+// harness.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"grasp/internal/calibrate"
+	"grasp/internal/metrics"
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/sched"
+	"grasp/internal/skel/farm"
+)
+
+// Config parameterises a Service.
+type Config struct {
+	// Workers is the number of platform worker slots (default GOMAXPROCS,
+	// minimum 2 so adaptation has somewhere to shift work).
+	Workers int
+	// DefaultWindow is the per-job in-flight window when a job does not set
+	// its own (default 2× Workers).
+	DefaultWindow int
+	// ThresholdFactor sets each job's Z = factor × warm-up mean task time
+	// (default 4, the core layer's default).
+	ThresholdFactor float64
+	// WarmupTasks is how many completions a job observes before deriving
+	// its threshold (default 2× Workers).
+	WarmupTasks int
+	// ProbeSpin is the busy-loop iteration count of a calibration probe
+	// (default 50000).
+	ProbeSpin int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 2 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+	}
+	if c.DefaultWindow <= 0 {
+		c.DefaultWindow = 2 * c.Workers
+	}
+	if c.ThresholdFactor <= 0 {
+		c.ThresholdFactor = 4
+	}
+	if c.WarmupTasks <= 0 {
+		c.WarmupTasks = 2 * c.Workers
+	}
+	if c.ProbeSpin <= 0 {
+		c.ProbeSpin = 50000
+	}
+	return c
+}
+
+// Service owns the shared runtime, platform, calibration cache, and job
+// table. Create one with New; it is safe for concurrent use.
+type Service struct {
+	cfg Config
+	l   *rt.Local
+	pf  platform.Platform
+	reg *metrics.Registry
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	calOnce sync.Once
+	ranking calibrate.Ranking
+	calErr  error
+}
+
+// New builds a service over a fresh local runtime and platform.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	l := rt.NewLocal()
+	return &Service{
+		cfg:  cfg,
+		l:    l,
+		pf:   platform.NewLocalPlatform(l, cfg.Workers),
+		reg:  metrics.NewRegistry(),
+		jobs: make(map[string]*Job),
+	}
+}
+
+// Metrics exposes the service's operational counters.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Workers returns the platform worker count.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// calibration runs Algorithm 1 once per service lifetime and caches the
+// ranking; every job after the first reuses the cached result — the
+// "per-platform calibration reuse" that amortises probing across jobs.
+func (s *Service) calibration() (calibrate.Ranking, error) {
+	first := false
+	s.calOnce.Do(func() {
+		first = true
+		spin := s.cfg.ProbeSpin
+		probe := platform.Task{ID: -1, Cost: float64(spin), Fn: func() any {
+			x := 1.0
+			for i := 0; i < spin; i++ {
+				x += x * 1e-9
+			}
+			return x
+		}}
+		done := make(chan struct{})
+		s.l.Go("service.calibrate", func(c rt.Ctx) {
+			defer close(done)
+			out, err := calibrate.Run(s.pf, c, calibrate.Options{
+				Strategy: calibrate.TimeOnly,
+				Probes:   []platform.Task{probe},
+			})
+			if err != nil {
+				s.calErr = err
+				return
+			}
+			s.ranking = out.Ranking
+		})
+		<-done
+		s.reg.Counter("service_calibrations_total").Inc()
+	})
+	if !first {
+		s.reg.Counter("service_calibration_reuse_total").Inc()
+	}
+	return s.ranking, s.calErr
+}
+
+// Sentinel errors callers (the HTTP layer) map onto status codes.
+var (
+	// ErrJobExists reports a duplicate job name.
+	ErrJobExists = errors.New("job already exists")
+	// ErrInvalid reports a malformed submission.
+	ErrInvalid = errors.New("invalid request")
+)
+
+// Submit registers a new named job and starts its stream farm. The name
+// must be unused.
+func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: job name must be non-empty: %w", ErrInvalid)
+	}
+	ranking, err := s.calibration()
+	if err != nil {
+		return nil, fmt.Errorf("service: calibration: %w", err)
+	}
+
+	spec = spec.withDefaults(s.cfg)
+	workers := make([]int, s.cfg.Workers)
+	for i := range workers {
+		workers[i] = i
+	}
+	j := &Job{
+		name:    name,
+		svc:     s,
+		spec:    spec,
+		in:      s.l.NewChan("service.in."+name, spec.Window),
+		control: s.l.NewChan("service.control."+name, 4),
+		det: &monitor.Detector{
+			// Z starts disabled; the warm-up installs it via the control
+			// channel once the job's own task times are known.
+			Rule:       monitor.RuleMinOver,
+			Window:     s.cfg.Workers,
+			MinSamples: s.cfg.Workers,
+		},
+		state: JobAccepting,
+		done:  make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if _, dup := s.jobs[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: job %q: %w", name, ErrJobExists)
+	}
+	s.jobs[name] = j
+	s.mu.Unlock()
+
+	s.reg.Counter("service_jobs_total").Inc()
+	s.reg.Gauge("service_jobs_active").Add(1)
+
+	s.l.Go("service.job."+name, func(c rt.Ctx) {
+		rep := farm.RunStream(s.pf, c, j.in, farm.StreamOptions{
+			Workers: workers,
+			Window:  spec.Window,
+			Weights: ranking.Weights(workers),
+			// Weighted chunking is what makes the calibrated weights (and
+			// every live re-weighting) actually shift dispatch shares;
+			// sched.Single would ignore the weight argument entirely.
+			Chunk:         sched.Weighted{},
+			Detector:      j.det,
+			Control:       j.control,
+			OnResult:      j.onResult,
+			OnRecalibrate: j.onRecalibrate,
+		})
+		j.finish(rep)
+		s.reg.Gauge("service_jobs_active").Add(-1)
+	})
+	return j, nil
+}
+
+// Job returns the named job.
+func (s *Service) Job(name string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[name]
+	return j, ok
+}
+
+// Statuses snapshots every job's status, sorted by name order of the map
+// iteration (callers sort if they need determinism).
+func (s *Service) Statuses() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Remove deletes a finished job and its retained results — the retention
+// lever for a daemon that otherwise accumulates every result it ever
+// produced. Only done jobs can be removed; a running job's farm cannot be
+// detached from the shared runtime.
+func (s *Service) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[name]
+	if !ok {
+		return fmt.Errorf("service: no job %q", name)
+	}
+	if j.Status().State != JobDone {
+		return fmt.Errorf("service: job %q is not done; close and drain it first", name)
+	}
+	delete(s.jobs, name)
+	s.reg.Counter("service_jobs_removed_total").Inc()
+	return nil
+}
+
+// Drain closes every accepting job's input and waits (up to timeout) for
+// all jobs to finish. A zero timeout waits forever.
+func (s *Service) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.CloseInput() // idempotent; error only means already closed
+	}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-deadline:
+			return fmt.Errorf("service: drain timed out with job %q unfinished", j.name)
+		}
+	}
+	return nil
+}

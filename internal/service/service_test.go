@@ -1,0 +1,282 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// burst builds n task specs with IDs base..base+n-1 sleeping sleepUS each.
+func burst(base, n int, sleepUS int64) []TaskSpec {
+	specs := make([]TaskSpec, n)
+	for i := range specs {
+		specs[i] = TaskSpec{ID: base + i, Cost: 1, SleepUS: sleepUS}
+	}
+	return specs
+}
+
+// waitDone fails the test if the job does not finish within the deadline.
+func waitDone(t *testing.T, j *Job, d time.Duration) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(d):
+		t.Fatalf("job %s did not finish within %v (status %+v)", j.Name(), d, j.Status())
+	}
+}
+
+func TestServiceThreeConcurrentStreamingJobs(t *testing.T) {
+	// The acceptance scenario: ≥3 concurrent streaming jobs on one service,
+	// backpressure engaged (bounded in-flight window observed), and a
+	// detector-triggered recalibration mid-stream — with no task lost or
+	// duplicated anywhere.
+	const (
+		jobs    = 3
+		perJob  = 60
+		window  = 5
+		fastUS = 100
+		// Slow tasks must dwarf Z = factor × warm-up mean even when the
+		// warm-up times are inflated by race-detector and scheduler
+		// overhead, or the breach assertion flakes.
+		slowUS  = 30000
+		batches = 6
+	)
+	s := New(Config{Workers: 4, DefaultWindow: window, WarmupTasks: 4, ThresholdFactor: 3})
+
+	var wg sync.WaitGroup
+	handles := make([]*Job, jobs)
+	for k := 0; k < jobs; k++ {
+		j, err := s.Submit(fmt.Sprintf("job-%d", k), JobSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[k] = j
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := k * 1000
+			per := perJob / batches
+			for b := 0; b < batches; b++ {
+				sleep := int64(fastUS)
+				if b >= batches/2 {
+					// The stream slows down sharply mid-flight: the warmed-up
+					// detector must breach and recalibrate without draining.
+					sleep = slowUS
+				}
+				if _, err := j.Push(burst(base+b*per, per, sleep)); err != nil {
+					t.Errorf("job %d push: %v", k, err)
+					return
+				}
+			}
+			if err := j.CloseInput(); err != nil {
+				t.Errorf("job %d close: %v", k, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, j := range handles {
+		waitDone(t, j, 30*time.Second)
+	}
+
+	for k, j := range handles {
+		st := j.Status()
+		if st.State != JobDone {
+			t.Errorf("job %d state = %s", k, st.State)
+		}
+		if st.Completed != perJob || st.Submitted != perJob {
+			t.Errorf("job %d completed %d / submitted %d, want %d", k, st.Completed, st.Submitted, perJob)
+		}
+		if st.MaxInFlight > window {
+			t.Errorf("job %d MaxInFlight = %d exceeds window %d: backpressure not engaged", k, st.MaxInFlight, window)
+		}
+		if st.MaxInFlight == 0 {
+			t.Errorf("job %d never observed in-flight tasks", k)
+		}
+		if st.Breaches == 0 || st.Recalibrations == 0 {
+			t.Errorf("job %d: breaches=%d recalibrations=%d, want both > 0 (mid-stream adaptation)", k, st.Breaches, st.Recalibrations)
+		}
+		// Exactly-once per job, and strictly this job's ID range: isolation.
+		results, _ := j.Results(0)
+		seen := make(map[int]bool, perJob)
+		for _, r := range results {
+			if r.ID < k*1000 || r.ID >= k*1000+perJob {
+				t.Errorf("job %d received foreign task %d", k, r.ID)
+			}
+			if seen[r.ID] {
+				t.Errorf("job %d task %d duplicated", k, r.ID)
+			}
+			seen[r.ID] = true
+		}
+		if len(seen) != perJob {
+			t.Errorf("job %d lost tasks: %d distinct of %d", k, len(seen), perJob)
+		}
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap["service_jobs_total"] != jobs {
+		t.Errorf("jobs_total = %d", snap["service_jobs_total"])
+	}
+	if snap["service_tasks_completed_total"] != jobs*perJob {
+		t.Errorf("tasks_completed_total = %d, want %d", snap["service_tasks_completed_total"], jobs*perJob)
+	}
+	if snap["service_calibrations_total"] != 1 {
+		t.Errorf("calibrations_total = %d, want 1 (probe once)", snap["service_calibrations_total"])
+	}
+	if snap["service_calibration_reuse_total"] != jobs-1 {
+		t.Errorf("calibration_reuse_total = %d, want %d (later jobs reuse)", snap["service_calibration_reuse_total"], jobs-1)
+	}
+	if snap["service_jobs_active"] != 0 || snap["service_jobs_active_max"] != jobs {
+		t.Errorf("jobs_active gauge = %d (max %d), want 0 (max %d)",
+			snap["service_jobs_active"], snap["service_jobs_active_max"], jobs)
+	}
+}
+
+func TestServicePushBlocksUnderBackpressure(t *testing.T) {
+	// Window 2 and a 2-deep input buffer: pushing 20 tasks of ~1ms each on
+	// 2 workers cannot return before most of the work has been admitted,
+	// so Push must take at least a few task durations.
+	s := New(Config{Workers: 2, DefaultWindow: 2, WarmupTasks: 1000})
+	j, err := s.Submit("bp", JobSpec{Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := j.Push(burst(0, 20, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := j.CloseInput(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 10*time.Second)
+	// 20 tasks × 1ms over 2 workers ≈ 10ms of work; with a window of 2 and
+	// a buffer of 2, Push can run ahead by at most ~4 tasks.
+	if elapsed < 3*time.Millisecond {
+		t.Errorf("Push returned in %v: backpressure did not reach the submitter", elapsed)
+	}
+	if st := j.Status(); st.MaxInFlight > 2 {
+		t.Errorf("MaxInFlight = %d exceeds window 2", st.MaxInFlight)
+	}
+}
+
+func TestServiceDuplicateJobName(t *testing.T) {
+	s := New(Config{Workers: 2})
+	if _, err := s.Submit("same", JobSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("same", JobSpec{}); err == nil {
+		t.Error("duplicate job name accepted")
+	}
+	if _, err := s.Submit("", JobSpec{}); err == nil {
+		t.Error("empty job name accepted")
+	}
+}
+
+func TestServicePushAfterCloseFails(t *testing.T) {
+	s := New(Config{Workers: 2})
+	j, err := s.Submit("closed", JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CloseInput(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Push(burst(0, 1, 0)); err == nil {
+		t.Error("push after close accepted")
+	}
+	if err := j.CloseInput(); err == nil {
+		t.Error("double close accepted")
+	}
+	waitDone(t, j, 5*time.Second)
+}
+
+func TestServiceDrainClosesEverything(t *testing.T) {
+	s := New(Config{Workers: 2})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(fmt.Sprintf("d%d", i), JobSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Push(burst(0, 10, 50)); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if st := j.Status(); st.State != JobDone || st.Completed != 10 {
+			t.Errorf("job %s after drain: %+v", j.Name(), st)
+		}
+	}
+}
+
+func TestServiceResultsCursor(t *testing.T) {
+	s := New(Config{Workers: 2})
+	j, err := s.Submit("cursor", JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Push(burst(0, 15, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CloseInput(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 5*time.Second)
+	first, next := j.Results(0)
+	if len(first) != 15 || next != 15 {
+		t.Fatalf("Results(0) = %d items, next %d", len(first), next)
+	}
+	rest, next2 := j.Results(next)
+	if len(rest) != 0 || next2 != 15 {
+		t.Errorf("Results(%d) = %d items, next %d", next, len(rest), next2)
+	}
+	tail, _ := j.Results(10)
+	if len(tail) != 5 {
+		t.Errorf("Results(10) = %d items, want 5", len(tail))
+	}
+	over, nextOver := j.Results(99)
+	if len(over) != 0 || nextOver != 15 {
+		t.Errorf("Results(99) = %d items, next %d", len(over), nextOver)
+	}
+}
+
+func TestServiceResultsRetentionBound(t *testing.T) {
+	s := New(Config{Workers: 2})
+	j, err := s.Submit("bounded", JobSpec{MaxResults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	if _, err := j.Push(burst(0, n, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CloseInput(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 10*time.Second)
+	results, next := j.Results(0)
+	if next != n {
+		t.Errorf("cursor = %d, want %d (counts trimmed results)", next, n)
+	}
+	// The bound plus its quarter slack is the retention ceiling.
+	if len(results) > 8+2 {
+		t.Errorf("retained %d results, bound is 8 (+2 slack)", len(results))
+	}
+	if len(results) == 0 {
+		t.Error("retention dropped everything")
+	}
+	// The retained tail is the most recent completions and stays pollable.
+	if st := j.Status(); st.Completed != n {
+		t.Errorf("completed = %d, want %d", st.Completed, n)
+	}
+	tail, next2 := j.Results(next - 2)
+	if len(tail) != 2 || next2 != n {
+		t.Errorf("Results(next-2) = %d items, next %d", len(tail), next2)
+	}
+}

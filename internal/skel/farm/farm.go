@@ -81,12 +81,14 @@ type Report struct {
 	DeadWorkers []int
 }
 
-// message is the farmer's multiplexed inbox entry.
+// message is the farmer's multiplexed inbox entry (shared by the batch and
+// streaming farms; task carries a pumped input task on the stream path).
 type message struct {
 	kind   msgKind
 	worker int
 	reply  rt.Chan         // request: where to send the chunk
 	result platform.Result // result
+	task   platform.Task   // stream: a task forwarded by the pump
 }
 
 type msgKind int
@@ -128,28 +130,7 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 	inbox := runtime.NewChan("farm.inbox", len(workers)*2)
 
 	// Workers: request → execute chunk → stream results → repeat.
-	for _, w := range workers {
-		w := w
-		reply := runtime.NewChan(fmt.Sprintf("farm.reply.%d", w), 1)
-		c.Go(fmt.Sprintf("farm.worker.%s", pf.WorkerName(w)), func(cc rt.Ctx) {
-			for {
-				inbox.Send(cc, message{kind: msgRequest, worker: w, reply: reply})
-				v, ok := reply.Recv(cc)
-				if !ok {
-					break
-				}
-				chunk := v.([]platform.Task)
-				if len(chunk) == 0 {
-					break
-				}
-				for _, task := range chunk {
-					res := pf.Exec(cc, w, task)
-					inbox.Send(cc, message{kind: msgResult, worker: w, result: res})
-				}
-			}
-			inbox.Send(cc, message{kind: msgDone, worker: w})
-		})
-	}
+	spawnWorkers(pf, c, inbox, workers, "farm")
 
 	// Farmer: multiplex requests and results until every worker has exited.
 	next := 0 // index of the first undispatched task
@@ -268,6 +249,36 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 		rep.Makespan = lastCompletion - start
 	}
 	return rep
+}
+
+// spawnWorkers starts one demand-driven worker process per index, shared
+// by the batch and streaming farms: request a chunk on inbox, execute it,
+// stream results back, and exit on an empty chunk or a closed reply
+// channel, announcing the exit with msgDone.
+func spawnWorkers(pf platform.Platform, c rt.Ctx, inbox rt.Chan, workers []int, prefix string) {
+	runtime := pf.Runtime()
+	for _, w := range workers {
+		w := w
+		reply := runtime.NewChan(fmt.Sprintf("%s.reply.%d", prefix, w), 1)
+		c.Go(fmt.Sprintf("%s.worker.%s", prefix, pf.WorkerName(w)), func(cc rt.Ctx) {
+			for {
+				inbox.Send(cc, message{kind: msgRequest, worker: w, reply: reply})
+				v, ok := reply.Recv(cc)
+				if !ok {
+					break
+				}
+				chunk := v.([]platform.Task)
+				if len(chunk) == 0 {
+					break
+				}
+				for _, task := range chunk {
+					res := pf.Exec(cc, w, task)
+					inbox.Send(cc, message{kind: msgResult, worker: w, result: res})
+				}
+			}
+			inbox.Send(cc, message{kind: msgDone, worker: w})
+		})
+	}
 }
 
 // normalise scales an observed task time to the reference cost so the

@@ -1,0 +1,57 @@
+// Compile checks for every main package under cmd/ and examples/. These
+// binaries carry no unit tests of their own, so without this gate a
+// refactor can silently break them: the build check keeps all of them
+// green under plain `go test ./...`.
+package grasp_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// mainDirs lists the repo-relative directories holding main packages.
+func mainDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	for _, parent := range []string{"cmd", "examples"} {
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatalf("read %s: %v", parent, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, "./"+filepath.Join(parent, e.Name()))
+			}
+		}
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("found only %d main packages, expected at least 10: %v", len(dirs), dirs)
+	}
+	return dirs
+}
+
+func TestMainPackagesBuild(t *testing.T) {
+	goBin := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goBin); err != nil {
+		var lookErr error
+		goBin, lookErr = exec.LookPath("go")
+		if lookErr != nil {
+			t.Skip("go toolchain not available")
+		}
+	}
+	for _, dir := range mainDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goBin, "build", "-o", os.DevNull, dir)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Errorf("go build %s failed: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}
