@@ -9,6 +9,10 @@
 //	graspbench -experiment E3  run one experiment
 //	graspbench -seed 7         change the stochastic seed
 //	graspbench -list           list experiment IDs and titles
+//	graspbench -json FILE      bench every streaming skeleton and write a
+//	                           machine-readable BENCH_*.json record
+//	                           (throughput, makespan, breach/recalibration
+//	                           counts per skeleton) instead of the tables
 //
 // The process exits non-zero if any shape check fails.
 package main
@@ -23,12 +27,21 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("experiment", "", "experiment ID to run (default: all)")
-		seed  = flag.Int64("seed", 42, "seed for stochastic inputs")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quiet = flag.Bool("quiet", false, "print only check failures")
+		expID    = flag.String("experiment", "", "experiment ID to run (default: all)")
+		seed     = flag.Int64("seed", 42, "seed for stochastic inputs")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quiet    = flag.Bool("quiet", false, "print only check failures")
+		jsonPath = flag.String("json", "", "bench the streaming skeletons and write machine-readable results to this path")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runSkelBench(*jsonPath, *seed, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "graspbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

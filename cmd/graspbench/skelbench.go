@@ -1,0 +1,146 @@
+package main
+
+// The -json mode benches every streaming skeleton under the shared engine
+// contract and emits a machine-readable record — the start of the repo's
+// perf trajectory. Each bench streams the same workload (a fast body and a
+// slow tail that forces a mid-stream breach) through one skeleton adapter
+// on the real runtime and reports throughput, makespan, and the
+// adaptation counters.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/adapt"
+	"grasp/internal/skel/engine"
+)
+
+// BenchResult is one skeleton's streaming benchmark record.
+type BenchResult struct {
+	Skeleton       string  `json:"skeleton"`
+	Tasks          int     `json:"tasks"`
+	Workers        int     `json:"workers"`
+	Window         int     `json:"window"`
+	ElapsedUS      int64   `json:"elapsed_us"`
+	MakespanUS     int64   `json:"makespan_us"`
+	ThroughputTPS  float64 `json:"throughput_tps"`
+	Breaches       int     `json:"breaches"`
+	Recalibrations int     `json:"recalibrations"`
+	MaxInFlight    int     `json:"max_in_flight"`
+	Failures       int     `json:"failures"`
+}
+
+// BenchFile is the on-disk shape of a bench run (BENCH_RESULTS.json).
+type BenchFile struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	Seed          int64         `json:"seed"`
+	Results       []BenchResult `json:"results"`
+}
+
+// benchWorkload builds nFast quick tasks followed by nSlow slow ones: the
+// slowdown is what makes the detector breach, so every skeleton's
+// recalibration path is exercised and counted. Per-task durations carry
+// seeded ±25% jitter, so BENCH files from different seeds really are
+// independent samples.
+func benchWorkload(nFast, nSlow int, fast, slow time.Duration, seed int64) []platform.Task {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]platform.Task, nFast+nSlow)
+	for i := range tasks {
+		i := i
+		d := fast
+		if i >= nFast {
+			d = slow
+		}
+		d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+		tasks[i] = platform.Task{ID: i, Cost: 1, Fn: func() any {
+			time.Sleep(d)
+			return i
+		}}
+	}
+	return tasks
+}
+
+// benchSkeleton streams the workload through one adapter and records the
+// outcome.
+func benchSkeleton(name string, tasks []platform.Task) (BenchResult, error) {
+	const (
+		workers = 4
+		window  = 8
+	)
+	runner, err := adapt.New(adapt.Spec{Skeleton: name, Stages: 3})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	l := rt.NewLocal()
+	pf := platform.NewLocalPlatform(l, workers)
+	in := l.NewChan("bench.in", 1)
+	l.Go("bench.producer", func(c rt.Ctx) {
+		for _, t := range tasks {
+			in.Send(c, t)
+		}
+		in.Close(c)
+	})
+	var rep engine.StreamReport
+	start := time.Now()
+	l.Go("bench.root", func(c rt.Ctx) {
+		rep = runner(pf, c, in, engine.StreamOptions{
+			Window: window,
+			Detector: &monitor.Detector{
+				Z: 600 * time.Microsecond, Rule: monitor.RuleMinOver,
+				Window: 3, MinSamples: 3,
+			},
+		})
+	})
+	if err := l.Run(); err != nil {
+		return BenchResult{}, err
+	}
+	elapsed := time.Since(start)
+	out := BenchResult{
+		Skeleton:       name,
+		Tasks:          len(rep.Results),
+		Workers:        workers,
+		Window:         window,
+		ElapsedUS:      elapsed.Microseconds(),
+		MakespanUS:     rep.Makespan.Microseconds(),
+		Breaches:       rep.Breaches,
+		Recalibrations: rep.Recalibrations,
+		MaxInFlight:    rep.MaxInFlight,
+		Failures:       rep.Failures,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		out.ThroughputTPS = float64(len(rep.Results)) / secs
+	}
+	if len(rep.Results) != len(tasks) {
+		return out, fmt.Errorf("%s bench completed %d of %d tasks", name, len(rep.Results), len(tasks))
+	}
+	return out, nil
+}
+
+// runSkelBench benches every skeleton and writes the JSON record to path.
+func runSkelBench(path string, seed int64, quiet bool) error {
+	file := BenchFile{GeneratedUnix: time.Now().Unix(), Seed: seed}
+	for _, name := range adapt.Names() {
+		tasks := benchWorkload(150, 50, 100*time.Microsecond, 2*time.Millisecond, seed)
+		res, err := benchSkeleton(name, tasks)
+		if err != nil {
+			return err
+		}
+		file.Results = append(file.Results, res)
+		if !quiet {
+			fmt.Printf("bench %-9s %4d tasks  %8.0f tasks/s  makespan %s  breaches=%d recals=%d\n",
+				name, res.Tasks, res.ThroughputTPS,
+				time.Duration(res.MakespanUS)*time.Microsecond, res.Breaches, res.Recalibrations)
+		}
+	}
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,17 +1,20 @@
 // Command graspd is the GRASP streaming daemon: it serves the adaptive
-// task farm as a long-running HTTP service. Clients create named jobs,
-// stream tasks into them under backpressure, and poll results while the
-// service calibrates once, reuses the ranking across jobs, installs
-// per-job thresholds from warm-up traffic, and recalibrates live on
-// detector breaches — Algorithm 2's feedback loop, kept running forever.
+// structured-parallelism skeletons (farm, pipeline, dmap) as a
+// long-running HTTP service. Clients create named jobs declaring a
+// skeleton, stream tasks into them under backpressure, and poll results
+// through the same cursor endpoints regardless of topology, while the
+// service calibrates once, feeds the one ranking to every skeleton type,
+// installs per-job thresholds from warm-up traffic, and recalibrates live
+// on detector breaches — Algorithm 2's feedback loop, kept running
+// forever.
 //
 // Serve:
 //
 //	graspd -addr :8080 -workers 8 -window 16
 //
-// Hammer a running daemon with the loadgen driver:
+// Hammer a running daemon with mixed-skeleton traffic:
 //
-//	graspd -drive http://localhost:8080 -jobs 5 -tasks 500
+//	graspd -drive http://localhost:8080 -jobs 6 -tasks 500 -skeletons farm,pipeline,dmap
 //
 // See the README for the full JSON API and a curl walkthrough.
 package main
@@ -22,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"grasp/internal/loadgen"
@@ -42,35 +46,41 @@ func newDaemon(workers, window, warmup int, factor float64) (http.Handler, *serv
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "platform worker slots (0 = GOMAXPROCS)")
-		window  = flag.Int("window", 0, "default per-job in-flight window (0 = 2×workers)")
-		warmup  = flag.Int("warmup", 0, "completions before a job's threshold is set (0 = 2×workers)")
-		factor  = flag.Float64("threshold", 4, "Z = factor × warm-up mean task time")
-		drive   = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
-		jobs    = flag.Int("jobs", 3, "drive: concurrent jobs")
-		tasks   = flag.Int("tasks", 200, "drive: tasks per job")
-		batch   = flag.Int("batch", 20, "drive: tasks per POST")
-		sleepUS = flag.Int64("sleep-us", 500, "drive: mean simulated task duration (µs)")
-		seed    = flag.Int64("seed", 1, "drive: jitter seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "platform worker slots (0 = GOMAXPROCS)")
+		window    = flag.Int("window", 0, "default per-job in-flight window (0 = 2×workers)")
+		warmup    = flag.Int("warmup", 0, "completions before a job's threshold is set (0 = 2×workers)")
+		factor    = flag.Float64("threshold", 4, "Z = factor × warm-up mean task time")
+		drive     = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
+		jobs      = flag.Int("jobs", 3, "drive: concurrent jobs")
+		tasks     = flag.Int("tasks", 200, "drive: tasks per job")
+		batch     = flag.Int("batch", 20, "drive: tasks per POST")
+		sleepUS   = flag.Int64("sleep-us", 500, "drive: mean simulated task duration (µs)")
+		seed      = flag.Int64("seed", 1, "drive: jitter seed")
+		skeletons = flag.String("skeletons", "farm", "drive: comma-separated skeletons cycled across jobs (farm,pipeline,dmap)")
+		stages    = flag.Int("stages", 3, "drive: stage count for pipeline jobs")
+		waveSize  = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
 	)
 	flag.Parse()
 
 	if *drive != "" {
 		summary := loadgen.Driver{
-			BaseURL:     *drive,
-			Jobs:        *jobs,
-			TasksPerJob: *tasks,
-			Batch:       *batch,
-			SleepUS:     *sleepUS,
-			Window:      *window,
-			Seed:        *seed,
+			BaseURL:        *drive,
+			Jobs:           *jobs,
+			TasksPerJob:    *tasks,
+			Batch:          *batch,
+			SleepUS:        *sleepUS,
+			Window:         *window,
+			Seed:           *seed,
+			Skeletons:      strings.Split(*skeletons, ","),
+			PipelineStages: *stages,
+			WaveSize:       *waveSize,
 		}.Run()
 		fmt.Printf("drove %d jobs, %d/%d tasks completed in %v\n",
 			len(summary.Jobs), summary.Completed, summary.Tasks, summary.Elapsed.Round(time.Millisecond))
 		for _, j := range summary.Jobs {
-			fmt.Printf("  %-12s %5d/%5d tasks  breaches=%d recals=%d max_in_flight=%d dup=%d\n",
-				j.Name, j.Completed, j.Submitted, j.Breaches, j.Recalibrations, j.MaxInFlight, j.Duplicates)
+			fmt.Printf("  %-12s %-8s %5d/%5d tasks  breaches=%d recals=%d max_in_flight=%d dup=%d\n",
+				j.Name, j.Skeleton, j.Completed, j.Submitted, j.Breaches, j.Recalibrations, j.MaxInFlight, j.Duplicates)
 		}
 		for _, e := range summary.Errors {
 			fmt.Fprintf(os.Stderr, "error: %s\n", e)

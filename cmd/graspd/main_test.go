@@ -151,3 +151,186 @@ func TestDaemonBreachUnderSlowdown(t *testing.T) {
 func writeTask(b *strings.Builder, id int, sleepUS int) {
 	fmt.Fprintf(b, `{"id":%d,"sleep_us":%d}`, id, sleepUS)
 }
+
+// TestDaemonMixedSkeletonTraffic drives one daemon with concurrent jobs of
+// all three skeleton types: the same cursor endpoints serve every
+// topology, exactly once, under one shared calibration.
+func TestDaemonMixedSkeletonTraffic(t *testing.T) {
+	h, _ := newDaemon(4, 6, 4, 3)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	summary := loadgen.Driver{
+		BaseURL:     srv.URL,
+		Jobs:        3,
+		TasksPerJob: 40,
+		Batch:       10,
+		SleepUS:     300,
+		Window:      6,
+		PollEvery:   2 * time.Millisecond,
+		Timeout:     60 * time.Second,
+		Seed:        7,
+		Skeletons:   []string{"farm", "pipeline", "dmap"},
+	}.Run()
+
+	if !summary.OK() {
+		t.Fatalf("mixed-skeleton load run failed: %+v", summary)
+	}
+	wantSkel := map[string]bool{"farm": false, "pipeline": false, "dmap": false}
+	for _, j := range summary.Jobs {
+		if j.Completed != j.Submitted || j.Duplicates != 0 {
+			t.Errorf("job %s (%s): %d/%d completed, %d dups",
+				j.Name, j.Skeleton, j.Completed, j.Submitted, j.Duplicates)
+		}
+		wantSkel[j.Skeleton] = true
+	}
+	for sk, seen := range wantSkel {
+		if !seen {
+			t.Errorf("no job ran the %s skeleton", sk)
+		}
+	}
+
+	// The job listing reports each job's declared skeleton.
+	resp, err := http.Get(srv.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []struct {
+			Name     string `json:"name"`
+			Skeleton string `json:"skeleton"`
+		} `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, j := range listing.Jobs {
+		got[j.Skeleton] = true
+	}
+	for _, sk := range []string{"farm", "pipeline", "dmap"} {
+		if !got[sk] {
+			t.Errorf("job listing missing a %s job: %+v", sk, listing.Jobs)
+		}
+	}
+}
+
+// TestDaemonBreachEverySkeleton repeats the slowdown scenario for each
+// skeleton type over the HTTP API: fast warm-up traffic then a slow tail,
+// and in every topology the detector must breach and recalibrate
+// mid-stream without losing tasks — the engine contract observed from the
+// outside.
+func TestDaemonBreachEverySkeleton(t *testing.T) {
+	creates := map[string]string{
+		"farm":     `{"name":"%s","window":5}`,
+		"pipeline": `{"name":"%s","window":5,"skeleton":"pipeline","stages":[{"name":"a"},{"name":"b"},{"name":"c"}]}`,
+		"dmap":     `{"name":"%s","window":5,"skeleton":"dmap","wave_size":4}`,
+	}
+	for sk, createTmpl := range creates {
+		sk, createTmpl := sk, createTmpl
+		t.Run(sk, func(t *testing.T) {
+			t.Parallel()
+			h, _ := newDaemon(3, 5, 3, 3)
+			srv := httptest.NewServer(h)
+			defer srv.Close()
+
+			post := func(path, body string, want int) {
+				t.Helper()
+				resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != want {
+					t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, want)
+				}
+			}
+			name := "slow-" + sk
+			post("/api/v1/jobs", fmt.Sprintf(createTmpl, name), http.StatusCreated)
+			var fast, slow strings.Builder
+			fast.WriteString(`[`)
+			slow.WriteString(`[`)
+			for i := 0; i < 20; i++ {
+				if i > 0 {
+					fast.WriteString(",")
+					slow.WriteString(",")
+				}
+				writeTask(&fast, i, 100)
+				writeTask(&slow, 20+i, 30000)
+			}
+			fast.WriteString(`]`)
+			slow.WriteString(`]`)
+			post("/api/v1/jobs/"+name+"/tasks", fast.String(), http.StatusAccepted)
+			post("/api/v1/jobs/"+name+"/tasks", slow.String(), http.StatusAccepted)
+			post("/api/v1/jobs/"+name+"/close", ``, http.StatusOK)
+
+			// Poll the cursor endpoint exactly like a farm client would.
+			seen := make(map[int]bool)
+			cursor := 0
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/results?after=%d", srv.URL, name, cursor))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var poll struct {
+					Results []struct {
+						ID int `json:"id"`
+					} `json:"results"`
+					Next  int    `json:"next"`
+					State string `json:"state"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&poll)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range poll.Results {
+					if seen[r.ID] {
+						t.Errorf("task %d polled twice", r.ID)
+					}
+					seen[r.ID] = true
+				}
+				cursor = poll.Next
+				if poll.State == "done" {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("%s job stuck with %d results", sk, len(seen))
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if len(seen) != 40 {
+				t.Errorf("completed %d distinct tasks, want 40", len(seen))
+			}
+
+			resp, err := http.Get(srv.URL + "/api/v1/jobs/" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st struct {
+				Skeleton       string `json:"skeleton"`
+				Breaches       int    `json:"breaches"`
+				Recalibrations int    `json:"recalibrations"`
+				MaxInFlight    int    `json:"max_in_flight"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Skeleton != sk {
+				t.Errorf("status skeleton = %q, want %q", st.Skeleton, sk)
+			}
+			if st.Breaches == 0 || st.Recalibrations == 0 {
+				t.Errorf("breaches=%d recalibrations=%d: %s never adapted mid-stream",
+					st.Breaches, st.Recalibrations, sk)
+			}
+			if st.MaxInFlight > 5 {
+				t.Errorf("max_in_flight = %d exceeds window 5", st.MaxInFlight)
+			}
+		})
+	}
+}

@@ -8,25 +8,51 @@
 // CLIs under cmd/. The root-level bench_test.go regenerates every
 // experiment table as a testing.B benchmark.
 //
+// # The adaptive engine
+//
+// The paper's central claim — one adaptive mechanism serves every
+// structured-parallelism skeleton — is realised as skel/engine, the
+// skeleton-agnostic execution contract: calibrated weights in, detector
+// breach events and per-worker observed times out, a recalibrate hook,
+// streaming ingestion behind a bounded admission-credit window, and
+// failure/retire handling. A streaming skeleton is an engine.Runner; the
+// skeleton packages contribute only their dispatch topologies and
+// structural adaptation levers:
+//
+//   - skel/farm: demand-driven chunk pulls; breaches re-weight dispatch
+//     shares by inverse recent mean time (stop-and-return in batch mode).
+//   - skel/dmap: scatter waves with EWMA re-weighting between waves;
+//     breaches re-weight the block decomposition in place.
+//   - skel/pipeline: a stage graph over bounded buffers; breaches remap
+//     the bottleneck stage onto a spare worker, else swap it with the
+//     fastest stage's worker.
+//   - skel/dc, skel/reduce, skel/compose map their levers (grain,
+//     combining-tree shape, pool sizing) onto the same contract and share
+//     the engine's failure/retire bookkeeping.
+//
+// skel/adapt resolves skeleton names to runners for the service layer.
+//
 // # Streaming layer
 //
 // Above the batch skeletons sits a streaming service stack that keeps the
-// adaptive farm alive under continuous traffic:
+// adaptive skeletons alive under continuous traffic:
 //
-//   - skel/farm.RunStream is a long-lived demand-driven farm fed from a
-//     channel. Admission is bounded by an in-flight window (credits), so
+//   - Every engine.Runner is a long-lived skeleton fed from a channel.
+//     Admission is bounded by an in-flight window (credits), so
 //     backpressure reaches the producer; detector breaches re-calibrate
-//     the farm in place — re-weighting workers from live execution times,
-//     the streaming analogue of Algorithm 2's feedback to Algorithm 1 —
-//     and externally injected StreamUpdate values on a control channel
-//     adjust weights and thresholds without draining.
-//   - service multiplexes many concurrent named jobs onto one shared
-//     runtime and platform, calibrating once and reusing the ranking
-//     across jobs, deriving each job's threshold from its own warm-up
-//     completions, and exporting operational counters (metrics.Registry).
-//   - cmd/graspd serves that service over a JSON HTTP API (submit jobs,
-//     stream tasks, poll results, /metrics), and its -drive mode uses
-//     loadgen.Driver to hammer a running daemon with concurrent jobs,
-//     verifying exactly-once completion. See README.md for the API and a
-//     curl walkthrough.
+//     the run in place from live execution times — the streaming analogue
+//     of Algorithm 2's feedback to Algorithm 1 — and externally injected
+//     engine.Update values on a control channel adjust weights and
+//     thresholds without draining.
+//   - service multiplexes many concurrent named jobs — of any skeleton —
+//     onto one shared runtime and platform, calibrating once and feeding
+//     the one ranking to every skeleton type, deriving each job's
+//     threshold from its own warm-up completions, and exporting
+//     operational counters (metrics.Registry).
+//   - cmd/graspd serves that service over a JSON HTTP API (submit jobs
+//     with a skeleton field, stream tasks, poll results through the same
+//     cursor endpoints for every topology, /metrics), and its -drive mode
+//     uses loadgen.Driver to hammer a running daemon with concurrent
+//     mixed-skeleton jobs, verifying exactly-once completion. See
+//     README.md for the API and a curl walkthrough.
 package grasp

@@ -42,6 +42,16 @@ type Driver struct {
 	Seed int64
 	// JobPrefix names the jobs "<prefix>-<i>" (default "load").
 	JobPrefix string
+	// Skeletons cycles job topologies across the run's jobs: job k is
+	// created with skeleton Skeletons[k%len] (default {"farm"}). Use
+	// {"farm", "pipeline", "dmap"} to exercise mixed-skeleton traffic
+	// against one daemon.
+	Skeletons []string
+	// PipelineStages is the stage count for pipeline jobs (default 3; the
+	// middle stage carries a 2× cost factor so it is the bottleneck).
+	PipelineStages int
+	// WaveSize caps dmap jobs' decomposition waves (0: server default).
+	WaveSize int
 }
 
 func (d Driver) withDefaults() Driver {
@@ -69,12 +79,19 @@ func (d Driver) withDefaults() Driver {
 	if d.JobPrefix == "" {
 		d.JobPrefix = "load"
 	}
+	if len(d.Skeletons) == 0 {
+		d.Skeletons = []string{"farm"}
+	}
+	if d.PipelineStages <= 0 {
+		d.PipelineStages = 3
+	}
 	return d
 }
 
 // JobOutcome summarises one driven job.
 type JobOutcome struct {
 	Name           string
+	Skeleton       string
 	Submitted      int
 	Completed      int
 	Duplicates     int
@@ -132,7 +149,8 @@ func (d Driver) Run() DriveSummary {
 		go func() {
 			defer wg.Done()
 			name := fmt.Sprintf("%s-%d", d.JobPrefix, k)
-			outcomes[k] = d.driveJob(name, int64(k), deadline, fail)
+			skeleton := d.Skeletons[k%len(d.Skeletons)]
+			outcomes[k] = d.driveJob(name, skeleton, int64(k), deadline, fail)
 		}()
 	}
 	wg.Wait()
@@ -147,13 +165,38 @@ func (d Driver) Run() DriveSummary {
 }
 
 // driveJob runs one job end to end.
-func (d Driver) driveJob(name string, salt int64, deadline time.Time, fail func(string, ...any)) JobOutcome {
-	out := JobOutcome{Name: name}
+func (d Driver) driveJob(name, skeleton string, salt int64, deadline time.Time, fail func(string, ...any)) JobOutcome {
+	out := JobOutcome{Name: name, Skeleton: skeleton}
 	rng := rand.New(rand.NewSource(d.Seed ^ (salt + 1)))
 
 	create := map[string]any{"name": name}
 	if d.Window > 0 {
 		create["window"] = d.Window
+	}
+	switch skeleton {
+	case "", "farm":
+		// The daemon's default; omit the field to exercise that path too.
+	case "pipeline":
+		create["skeleton"] = "pipeline"
+		stages := make([]map[string]any, d.PipelineStages)
+		for i := range stages {
+			factor := 1.0
+			if i == d.PipelineStages/2 {
+				factor = 2.0 // a structural bottleneck for the remapper
+			}
+			stages[i] = map[string]any{
+				"name":        fmt.Sprintf("s%d", i),
+				"cost_factor": factor,
+			}
+		}
+		create["stages"] = stages
+	case "dmap":
+		create["skeleton"] = "dmap"
+		if d.WaveSize > 0 {
+			create["wave_size"] = d.WaveSize
+		}
+	default:
+		create["skeleton"] = skeleton // let the daemon validate
 	}
 	if err := d.post("/api/v1/jobs", create, nil); err != nil {
 		fail("create %s: %v", name, err)

@@ -224,3 +224,31 @@ func FuzzSubmit(f *testing.F) {
 		}
 	})
 }
+
+func TestHTTPRejectsInvalidJobSpec(t *testing.T) {
+	srv, _ := testServer(t)
+	base := srv.URL
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"negative window", `{"name":"bad","window":-1}`},
+		{"negative warmup", `{"name":"bad","warmup":-2}`},
+		{"negative max_results", `{"name":"bad","max_results":-5}`},
+		{"negative threshold", `{"name":"bad","threshold_factor":-0.5}`},
+		{"unknown skeleton", `{"name":"bad","skeleton":"quantum"}`},
+		{"pipeline without stages", `{"name":"bad","skeleton":"pipeline"}`},
+		{"pipeline with one stage", `{"name":"bad","skeleton":"pipeline","stages":[{}]}`},
+		{"pipeline with oversized factor", `{"name":"bad","skeleton":"pipeline","stages":[{"cost_factor":99},{}]}`},
+		{"farm with stages", `{"name":"bad","stages":[{},{}]}`},
+		{"dmap with negative wave", `{"name":"bad","skeleton":"dmap","wave_size":-3}`},
+		{"dmap with bad alpha", `{"name":"bad","skeleton":"dmap","alpha":1.5}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doJSON(t, "POST", base+"/api/v1/jobs", tc.body, http.StatusBadRequest, nil)
+		})
+	}
+	// The rejected name stays free: a valid spec under it must succeed.
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"bad","window":4}`, http.StatusCreated, nil)
+}

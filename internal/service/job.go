@@ -8,11 +8,23 @@ import (
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
-	"grasp/internal/skel/farm"
+	"grasp/internal/skel/adapt"
+	"grasp/internal/skel/engine"
+)
+
+// Limits on job structure; wire-level work caps live in http.go.
+const (
+	maxStages     = 8
+	maxCostFactor = 8
 )
 
 // JobSpec are the per-job knobs a submitter may set.
 type JobSpec struct {
+	// Skeleton selects the dispatch topology: "farm" (default), "pipeline",
+	// or "dmap". Every skeleton runs under the same engine contract — one
+	// calibration ranking, one admission window, one detector rule, the
+	// same cursor endpoints.
+	Skeleton string `json:"skeleton,omitempty"`
 	// Window is the job's bounded in-flight window (default the service's
 	// DefaultWindow).
 	Window int `json:"window,omitempty"`
@@ -27,6 +39,24 @@ type JobSpec struct {
 	// past them (default 100000, capped at 1000000). This is the retention
 	// bound that keeps a long-lived job's memory finite.
 	MaxResults int `json:"max_results,omitempty"`
+	// Stages describes a pipeline job's stages (pipeline only, 2..8).
+	Stages []StageSpec `json:"stages,omitempty"`
+	// WaveSize caps a dmap job's decomposition wave (dmap only; default
+	// the window).
+	WaveSize int `json:"wave_size,omitempty"`
+	// Alpha is a dmap job's EWMA re-weighting factor in (0, 1] (dmap
+	// only; default 0.5).
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// StageSpec describes one stage of a pipeline job: each submitted task
+// flows through every stage, performing its own work scaled by the
+// stage's cost factor.
+type StageSpec struct {
+	Name string `json:"name,omitempty"`
+	// CostFactor scales the task's declared work at this stage (default 1,
+	// max 8). The per-execution sleep/spin caps still apply after scaling.
+	CostFactor float64 `json:"cost_factor,omitempty"`
 }
 
 func (js JobSpec) withDefaults(cfg Config) JobSpec {
@@ -48,6 +78,64 @@ func (js JobSpec) withDefaults(cfg Config) JobSpec {
 	return js
 }
 
+// Validate rejects malformed job parameters up front — negative knobs and
+// cross-skeleton parameter mixups are client bugs the HTTP layer reports
+// as 400, never silently substituted with defaults.
+func (js JobSpec) Validate() error {
+	if js.Window < 0 {
+		return fmt.Errorf("window must be non-negative, got %d", js.Window)
+	}
+	if js.WarmupTasks < 0 {
+		return fmt.Errorf("warmup must be non-negative, got %d", js.WarmupTasks)
+	}
+	if js.MaxResults < 0 {
+		return fmt.Errorf("max_results must be non-negative, got %d", js.MaxResults)
+	}
+	if js.ThresholdFactor < 0 {
+		return fmt.Errorf("threshold_factor must be non-negative, got %g", js.ThresholdFactor)
+	}
+	if !adapt.Known(js.Skeleton) {
+		return fmt.Errorf("unknown skeleton %q (have %v)", js.Skeleton, adapt.Names())
+	}
+	switch js.Skeleton {
+	case adapt.Pipeline:
+		if len(js.Stages) < 2 || len(js.Stages) > maxStages {
+			return fmt.Errorf("pipeline job needs 2..%d stages, got %d", maxStages, len(js.Stages))
+		}
+		for i, st := range js.Stages {
+			if st.CostFactor < 0 || st.CostFactor > maxCostFactor {
+				return fmt.Errorf("stage %d: cost_factor must be in [0, %d], got %g", i, maxCostFactor, st.CostFactor)
+			}
+		}
+		if js.WaveSize != 0 || js.Alpha != 0 {
+			return fmt.Errorf("wave_size/alpha apply to dmap jobs only")
+		}
+	case adapt.DMap:
+		if len(js.Stages) != 0 {
+			return fmt.Errorf("stages apply to pipeline jobs only")
+		}
+		if js.WaveSize < 0 {
+			return fmt.Errorf("wave_size must be non-negative, got %d", js.WaveSize)
+		}
+		if js.Alpha < 0 || js.Alpha > 1 {
+			return fmt.Errorf("alpha must be in [0, 1], got %g", js.Alpha)
+		}
+	default: // farm
+		if len(js.Stages) != 0 || js.WaveSize != 0 || js.Alpha != 0 {
+			return fmt.Errorf("stages/wave_size/alpha apply to pipeline/dmap jobs only")
+		}
+	}
+	return nil
+}
+
+// skeleton names the job's topology for statuses and metrics.
+func (js JobSpec) skeleton() string {
+	if js.Skeleton == "" {
+		return adapt.Farm
+	}
+	return js.Skeleton
+}
+
 // TaskSpec is one unit of submitted work in wire form. SleepUS models
 // IO-bound work (the closure sleeps), Spin models CPU-bound work (a busy
 // loop); both may be combined. The closure returns the task ID.
@@ -58,13 +146,14 @@ type TaskSpec struct {
 	Spin    int64   `json:"spin,omitempty"`
 }
 
-// task converts the wire form into a platform task.
+// task converts the wire form into a platform task. The TaskSpec rides
+// along as Data so pipeline jobs can re-derive per-stage work.
 func (ts TaskSpec) task() platform.Task {
 	cost := ts.Cost
 	if cost <= 0 {
 		cost = 1
 	}
-	return platform.Task{ID: ts.ID, Cost: cost, Fn: func() any {
+	return platform.Task{ID: ts.ID, Cost: cost, Data: ts, Fn: func() any {
 		if ts.SleepUS > 0 {
 			time.Sleep(time.Duration(ts.SleepUS) * time.Microsecond)
 		}
@@ -96,6 +185,7 @@ const (
 // JobStatus is a point-in-time snapshot of a job, JSON-ready.
 type JobStatus struct {
 	Name           string `json:"name"`
+	Skeleton       string `json:"skeleton"`
 	State          string `json:"state"`
 	Submitted      int    `json:"submitted"`
 	Completed      int    `json:"completed"`
@@ -109,15 +199,18 @@ type JobStatus struct {
 	MakespanMicros int64  `json:"makespan_micros"`
 }
 
-// Job is one named streaming workload multiplexed onto the service.
+// Job is one named streaming workload multiplexed onto the service. Its
+// skeleton is opaque here: the job only ever touches the engine contract
+// (the control channel, the breach hook, per-result callbacks).
 type Job struct {
 	name    string
 	svc     *Service
 	spec    JobSpec
 	in      rt.Chan
 	control rt.Chan
-	// det is constructed by the service and then owned by the farmer; the
-	// job never touches it after submission (Status reads zMicros instead).
+	// det is constructed by the service and then owned by the skeleton's
+	// coordinator; the job never touches it after submission (Status reads
+	// zMicros instead).
 	det  *monitor.Detector
 	done chan struct{}
 
@@ -137,17 +230,17 @@ type Job struct {
 	zInstalled     bool
 	results        []TaskResult
 	resultsBase    int // results dropped by the retention bound
-	rep            farm.StreamReport
+	rep            engine.StreamReport
 }
 
 // Name returns the job's name.
 func (j *Job) Name() string { return j.name }
 
-// Done is closed when the job's stream farm has fully drained.
+// Done is closed when the job's stream has fully drained.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Push submits tasks to the job, blocking under backpressure (the stream
-// farm's in-flight window plus the input buffer are both bounded). It
+// Push submits tasks to the job, blocking under backpressure (the
+// engine's in-flight window plus the input buffer are both bounded). It
 // returns how many tasks were accepted.
 func (j *Job) Push(specs []TaskSpec) (int, error) {
 	j.sendMu.Lock()
@@ -181,6 +274,39 @@ func (j *Job) CloseInput() error {
 	j.mu.Unlock()
 	j.in.Close(nil)
 	return nil
+}
+
+// stageTask derives the work pipeline stage si performs on a flowing
+// task: the submitted TaskSpec scaled by the stage's cost factor, with
+// the per-execution work caps re-applied so a multi-stage job cannot
+// amplify past them.
+func (j *Job) stageTask(stage int, t platform.Task) platform.Task {
+	ts, ok := t.Data.(TaskSpec)
+	if !ok || stage >= len(j.spec.Stages) {
+		return t
+	}
+	f := j.spec.Stages[stage].CostFactor
+	if f <= 0 {
+		f = 1
+	}
+	scaled := TaskSpec{
+		ID:      ts.ID,
+		Cost:    ts.Cost * f,
+		SleepUS: capWork(int64(float64(ts.SleepUS)*f), maxSleepUS),
+		Spin:    capWork(int64(float64(ts.Spin)*f), maxSpin),
+	}
+	return scaled.task()
+}
+
+// capWork clamps scaled work into [0, cap].
+func capWork(v, max int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
 }
 
 // onResult records a completion and, during warm-up, accumulates times
@@ -217,27 +343,28 @@ func (j *Job) onResult(res platform.Result) {
 	}
 	j.mu.Unlock()
 	if install > 0 {
-		// The farmer polls the control channel between messages; TrySend
-		// from inside OnResult (which runs in the farmer) cannot block.
-		j.control.TrySend(nil, farm.StreamUpdate{Z: install, ResetDetector: true})
+		// The coordinator polls the control channel between events; TrySend
+		// from inside OnResult (which runs in the coordinator) cannot block.
+		j.control.TrySend(nil, engine.Update{Z: install, ResetDetector: true})
 		j.svc.reg.Counter("service_thresholds_installed_total").Inc()
 	}
 }
 
-// onRecalibrate counts the breach and defers to the stream farm's built-in
-// reweighting.
-func (j *Job) onRecalibrate(farm.BreachInfo) (farm.StreamUpdate, bool) {
+// onRecalibrate counts the breach and defers to the skeleton's own
+// recalibration default (reweighting for farm/dmap, remapping for
+// pipelines).
+func (j *Job) onRecalibrate(engine.Breach) (engine.Update, bool) {
 	j.svc.reg.Counter("service_breaches_total").Inc()
 	j.svc.reg.Counter("service_recalibrations_total").Inc()
 	j.mu.Lock()
 	j.breaches++
 	j.recalibrations++
 	j.mu.Unlock()
-	return farm.StreamUpdate{}, false
+	return engine.Update{}, false
 }
 
 // finish stores the final report and marks the job done.
-func (j *Job) finish(rep farm.StreamReport) {
+func (j *Job) finish(rep engine.StreamReport) {
 	j.mu.Lock()
 	j.rep = rep
 	j.state = JobDone
@@ -251,6 +378,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		Name:           j.name,
+		Skeleton:       j.spec.skeleton(),
 		State:          j.state,
 		Submitted:      j.submitted,
 		Completed:      j.completed,
@@ -265,7 +393,7 @@ func (j *Job) Status() JobStatus {
 		st.MaxInFlight = j.rep.MaxInFlight
 		st.MakespanMicros = j.rep.Makespan.Microseconds()
 		// Breaches/Recalibrations stay the job's own breach-driven counts:
-		// the farm report additionally counts control updates (the warm-up
+		// the engine report additionally counts control updates (the warm-up
 		// threshold install), which would make the numbers jump at
 		// completion for jobs that never adapted.
 	}
@@ -289,8 +417,8 @@ func (j *Job) Results(after int) ([]TaskResult, int) {
 	return out, after + len(out)
 }
 
-// Report returns the final stream report (zero until the job is done).
-func (j *Job) Report() farm.StreamReport {
+// Report returns the final engine report (zero until the job is done).
+func (j *Job) Report() engine.StreamReport {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.rep

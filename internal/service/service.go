@@ -1,15 +1,20 @@
 // Package service multiplexes many concurrent named streaming jobs onto one
-// shared runtime and platform — the layer that turns the adaptive task farm
-// from a batch program into a long-running system serving continuous
+// shared runtime and platform — the layer that turns the adaptive skeletons
+// from batch programs into a long-running system serving continuous
 // traffic.
 //
-// Each job is a farm.RunStream instance fed through a bounded channel, so
-// submission backpressure propagates all the way to the caller. The service
-// calibrates the platform once (Algorithm 1 over spin probes) and reuses
-// the ranking's dispatch weights for every job; per-job thresholds are then
-// derived from each job's own warm-up tasks and installed live through the
-// stream farm's control channel, and detector breaches re-calibrate the
-// job's weights from live execution times without draining the stream.
+// The service is skeleton-agnostic: a job declares its skeleton (farm,
+// pipeline, dmap) and the adapt registry resolves it to an engine.Runner;
+// from here on the service only ever touches the engine contract. Each job
+// is one runner fed through a bounded channel, so submission backpressure
+// propagates all the way to the caller. The service calibrates the
+// platform once (Algorithm 1 over spin probes) and the one ranking's
+// dispatch weights feed every skeleton type — chunk shares for farms,
+// decomposition blocks for dmaps, stage mappings for pipelines. Per-job
+// thresholds are derived from each job's own warm-up tasks and installed
+// live through the engine's control channel, and detector breaches
+// re-calibrate the job in place (reweighting or remapping, per skeleton)
+// without draining the stream.
 //
 // The service runs only on the real runtime (rt.Local): it exists to serve
 // actual traffic, while the simulator remains the domain of the experiment
@@ -29,7 +34,8 @@ import (
 	"grasp/internal/platform"
 	"grasp/internal/rt"
 	"grasp/internal/sched"
-	"grasp/internal/skel/farm"
+	"grasp/internal/skel/adapt"
+	"grasp/internal/skel/engine"
 )
 
 // Config parameterises a Service.
@@ -153,11 +159,14 @@ var (
 	ErrInvalid = errors.New("invalid request")
 )
 
-// Submit registers a new named job and starts its stream farm. The name
-// must be unused.
+// Submit registers a new named job and starts its skeleton's engine
+// runner. The name must be unused.
 func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: job name must be non-empty: %w", ErrInvalid)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("service: job %q: %v: %w", name, err, ErrInvalid)
 	}
 	ranking, err := s.calibration()
 	if err != nil {
@@ -186,6 +195,22 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		done:  make(chan struct{}),
 	}
 
+	// Resolve the declared skeleton to its engine runner. The Weighted
+	// chunk policy is what makes the calibrated weights (and every live
+	// re-weighting) actually shift a farm's dispatch shares; dmap and
+	// pipeline consume the same weights through their own topologies.
+	run, err := adapt.New(adapt.Spec{
+		Skeleton:  spec.Skeleton,
+		Chunk:     sched.Weighted{},
+		WaveSize:  spec.WaveSize,
+		Alpha:     spec.Alpha,
+		Stages:    len(spec.Stages),
+		StageTask: j.stageTask,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: job %q: %v: %w", name, err, ErrInvalid)
+	}
+
 	s.mu.Lock()
 	if _, dup := s.jobs[name]; dup {
 		s.mu.Unlock()
@@ -195,17 +220,14 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	s.mu.Unlock()
 
 	s.reg.Counter("service_jobs_total").Inc()
+	s.reg.Counter("service_jobs_" + spec.skeleton() + "_total").Inc()
 	s.reg.Gauge("service_jobs_active").Add(1)
 
 	s.l.Go("service.job."+name, func(c rt.Ctx) {
-		rep := farm.RunStream(s.pf, c, j.in, farm.StreamOptions{
-			Workers: workers,
-			Window:  spec.Window,
-			Weights: ranking.Weights(workers),
-			// Weighted chunking is what makes the calibrated weights (and
-			// every live re-weighting) actually shift dispatch shares;
-			// sched.Single would ignore the weight argument entirely.
-			Chunk:         sched.Weighted{},
+		rep := run(s.pf, c, j.in, engine.StreamOptions{
+			Workers:       workers,
+			Window:        spec.Window,
+			Weights:       ranking.Weights(workers),
 			Detector:      j.det,
 			Control:       j.control,
 			OnResult:      j.onResult,

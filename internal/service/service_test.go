@@ -32,9 +32,9 @@ func TestServiceThreeConcurrentStreamingJobs(t *testing.T) {
 	// detector-triggered recalibration mid-stream — with no task lost or
 	// duplicated anywhere.
 	const (
-		jobs    = 3
-		perJob  = 60
-		window  = 5
+		jobs   = 3
+		perJob = 60
+		window = 5
 		fastUS = 100
 		// Slow tasks must dwarf Z = factor × warm-up mean even when the
 		// warm-up times are inflated by race-detector and scheduler
@@ -278,5 +278,73 @@ func TestServiceResultsRetentionBound(t *testing.T) {
 	tail, next2 := j.Results(next - 2)
 	if len(tail) != 2 || next2 != n {
 		t.Errorf("Results(next-2) = %d items, next %d", len(tail), next2)
+	}
+}
+
+func TestServiceMixedSkeletonJobs(t *testing.T) {
+	// One service, three concurrent jobs with three different skeletons:
+	// the skeleton-agnostic layer must stream every topology through the
+	// same Push/Results surface, exactly once, off one shared calibration.
+	const perJob = 30
+	s := New(Config{Workers: 4, DefaultWindow: 6, WarmupTasks: 1000})
+	specs := map[string]JobSpec{
+		"farm": {},
+		"pipe": {Skeleton: "pipeline", Stages: []StageSpec{{Name: "a"}, {Name: "b", CostFactor: 2}, {Name: "c"}}},
+		"deal": {Skeleton: "dmap", WaveSize: 4},
+	}
+	handles := make(map[string]*Job, len(specs))
+	base := 0
+	for name, spec := range specs {
+		j, err := s.Submit(name, spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		handles[name] = j
+		go func(j *Job, base int) {
+			if _, err := j.Push(burst(base, perJob, 200)); err != nil {
+				t.Errorf("push %s: %v", j.Name(), err)
+				return
+			}
+			if err := j.CloseInput(); err != nil {
+				t.Errorf("close %s: %v", j.Name(), err)
+			}
+		}(j, base)
+		base += 1000
+	}
+	for _, j := range handles {
+		waitDone(t, j, 30*time.Second)
+	}
+	for name, j := range handles {
+		st := j.Status()
+		if st.Completed != perJob {
+			t.Errorf("job %s completed %d, want %d", name, st.Completed, perJob)
+		}
+		wantSkel := specs[name].Skeleton
+		if wantSkel == "" {
+			wantSkel = "farm"
+		}
+		if st.Skeleton != wantSkel {
+			t.Errorf("job %s skeleton = %q, want %q", name, st.Skeleton, wantSkel)
+		}
+		results, _ := j.Results(0)
+		seen := make(map[int]bool, perJob)
+		for _, r := range results {
+			if seen[r.ID] {
+				t.Errorf("job %s task %d duplicated", name, r.ID)
+			}
+			seen[r.ID] = true
+		}
+		if len(seen) != perJob {
+			t.Errorf("job %s: %d distinct results, want %d", name, len(seen), perJob)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	for _, c := range []string{"service_jobs_farm_total", "service_jobs_pipeline_total", "service_jobs_dmap_total"} {
+		if snap[c] != 1 {
+			t.Errorf("%s = %d, want 1", c, snap[c])
+		}
+	}
+	if snap["service_calibrations_total"] != 1 {
+		t.Errorf("calibrations = %d: every skeleton must reuse the one ranking", snap["service_calibrations_total"])
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"grasp/internal/platform"
 	"grasp/internal/rt"
+	"grasp/internal/skel/engine"
 	"grasp/internal/trace"
 )
 
@@ -74,6 +75,9 @@ type Report struct {
 	// Failures counts executions lost to worker crashes; the item is
 	// retried on another pool member when one survives.
 	Failures int
+	// DeadWorkers lists crashed pool members in detection order (the
+	// engine's shared retire bookkeeping).
+	DeadWorkers []int
 	// Lost counts items dropped because a stage's whole pool died.
 	Lost int
 }
@@ -98,7 +102,8 @@ func Run(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opts Option
 	runtime := pf.Runtime()
 	start := c.Now()
 	rep.ServiceByStage = make([]time.Duration, len(stages))
-	var mu sync.Mutex // guards rep fields written by stage workers
+	var mu sync.Mutex // guards rep and faults, written by stage workers
+	var faults engine.Faults
 
 	chans := make([]rt.Chan, len(stages)+1)
 	for i := range chans {
@@ -170,7 +175,8 @@ func Run(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opts Option
 					})
 					if res.Failed() {
 						mu.Lock()
-						rep.Failures++
+						faults.Failures++
+						faults.Retire(w)
 						mu.Unlock()
 						ss.mu.Lock()
 						ss.retries = append(ss.retries, it)
@@ -248,6 +254,8 @@ func Run(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opts Option
 	for _, h := range handles {
 		c.Join(h)
 	}
+	rep.Failures = faults.Failures
+	rep.DeadWorkers = faults.Dead
 	if rep.Items > 0 {
 		rep.Makespan = rep.Outputs[len(rep.Outputs)-1].At
 	}

@@ -7,6 +7,7 @@ import (
 
 	"grasp/internal/platform"
 	"grasp/internal/rt"
+	"grasp/internal/skel/engine"
 	"grasp/internal/trace"
 )
 
@@ -99,7 +100,7 @@ func RunAdaptive(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opt
 	runtime := pf.Runtime()
 	start := c.Now()
 	rep.ServiceByStage = make([]time.Duration, len(stages))
-	var mu sync.Mutex // guards rep fields
+	var mu sync.Mutex // guards rep and faults
 
 	chans := make([]rt.Chan, len(stages)+1)
 	for i := range chans {
@@ -128,6 +129,7 @@ func RunAdaptive(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opt
 	w := &adaptiveRunner{
 		pf: pf, stages: stages, chans: chans, bal: bal,
 		rb: rb, opts: opts, rep: &rep, repMu: &mu, start: start,
+		faults: &engine.Faults{},
 	}
 
 	var handles []rt.Handle
@@ -153,6 +155,8 @@ func RunAdaptive(pf platform.Platform, c rt.Ctx, stages []Stage, nItems int, opt
 	for _, h := range handles {
 		c.Join(h)
 	}
+	rep.Failures = w.faults.Failures
+	rep.DeadWorkers = w.faults.Dead
 	if rep.Items > 0 {
 		rep.Makespan = rep.Outputs[len(rep.Outputs)-1].At
 	}
@@ -170,6 +174,7 @@ type adaptiveRunner struct {
 	rep    *AdaptiveReport
 	repMu  *sync.Mutex
 	start  time.Duration
+	faults *engine.Faults
 }
 
 // workerLoop serves stage `cur` until everything is finished, migrating
@@ -228,7 +233,8 @@ func (a *adaptiveRunner) workerLoop(cc rt.Ctx, worker, cur int) {
 		})
 		if res.Failed() {
 			a.repMu.Lock()
-			a.rep.Failures++
+			a.faults.Failures++
+			a.faults.Retire(worker)
 			a.repMu.Unlock()
 			bal.mu.Lock()
 			bal.retries[cur] = append(bal.retries[cur], it)

@@ -12,6 +12,12 @@
 // predicate receives the recursion depth, so callers (and the GRASP core)
 // can steer granularity exactly as the paper's "adjustment of algorithmic
 // parameters" demands. E16 sweeps this trade-off.
+//
+// In engine terms, dc maps onto the shared adaptive contract through its
+// leaf and combine farms: calibrated weights steer both phases' dispatch,
+// the detector monitors the leaf phase (where the grain lever lives), and
+// a breach stops the run with Incomplete so the caller can recalibrate —
+// there is no dc-private adaptation loop.
 package dc
 
 import (
@@ -155,14 +161,7 @@ func Run(pf platform.Platform, c rt.Ctx, root any, op Op, opts Options) Report {
 		}
 	}
 	leafStart := c.Now()
-	frep := farm.Run(pf, c, tasks, farm.Options{
-		Workers:  opts.Workers,
-		Chunk:    opts.Chunk,
-		Weights:  opts.Weights,
-		Detector: opts.Detector,
-		NormCost: opts.NormCost,
-		Log:      opts.Log,
-	})
+	frep := farm.Run(pf, c, tasks, opts.farmOptions(opts.Detector))
 	rep.LeafSpan = c.Now() - leafStart
 	rep.Requests += frep.Requests
 	rep.Failures += frep.Failures
@@ -222,12 +221,7 @@ func Run(pf platform.Platform, c rt.Ctx, root any, op Op, opts Options) Report {
 		if len(ctasks) == 0 {
 			continue
 		}
-		crep := farm.Run(pf, c, ctasks, farm.Options{
-			Workers: opts.Workers,
-			Chunk:   opts.Chunk,
-			Weights: opts.Weights,
-			Log:     opts.Log,
-		})
+		crep := farm.Run(pf, c, ctasks, opts.farmOptions(nil))
 		rep.Requests += crep.Requests
 		rep.Failures += crep.Failures
 		rep.Combines += len(crep.Results)
@@ -255,6 +249,22 @@ func Run(pf platform.Platform, c rt.Ctx, root any, op Op, opts Options) Report {
 		})
 	}
 	return rep
+}
+
+// farmOptions projects the dc options onto the engine-backed farm that
+// executes a phase. Both phases share the calibrated weights and chunk
+// policy; only the leaf phase monitors (det non-nil), because the combine
+// phase's tasks are the grain predicate's product and re-deciding grain is
+// the caller's recalibration, not the farm's.
+func (opts Options) farmOptions(det *monitor.Detector) farm.Options {
+	return farm.Options{
+		Workers:  opts.Workers,
+		Chunk:    opts.Chunk,
+		Weights:  opts.Weights,
+		Detector: det,
+		NormCost: opts.NormCost,
+		Log:      opts.Log,
+	}
 }
 
 // SizeGrain returns a grain predicate for instances with a notion of size:

@@ -13,10 +13,13 @@
 //
 // Adaptivity therefore happens *between* waves: Options.Waves splits the
 // population into successive decomposition rounds, each wave's observed
-// per-worker throughput re-weights the next (an EWMA blend), and a
-// monitor.Detector observing normalised task times implements Algorithm 2's
-// threshold rule — on breach the remaining waves are returned to the caller
-// so the GRASP core can recalibrate, exactly as the farm does.
+// per-worker throughput re-weights the next (an EWMA blend), and the shared
+// skel/engine contract supplies everything else — the calibrated weights,
+// the monitor.Detector implementing Algorithm 2's threshold rule, and
+// failure/retire handling. On a batch breach the remaining waves are
+// returned to the caller so the GRASP core can recalibrate, exactly as the
+// farm does; the streaming map (Stream) instead recalibrates its
+// decomposition weights in place between waves.
 //
 // Workers that crash mid-block (grid.ErrNodeFailed) lose the rest of their
 // block; the lost tasks are re-queued into the next wave (or returned in
@@ -31,6 +34,7 @@ import (
 	"grasp/internal/platform"
 	"grasp/internal/rt"
 	"grasp/internal/sched"
+	"grasp/internal/skel/engine"
 	"grasp/internal/trace"
 )
 
@@ -111,6 +115,67 @@ type gatherMsg struct {
 	out       blockOutcome
 }
 
+// scatterWave spawns one block process per live worker for the wave's
+// tasks, partitioned by the engine's current weights, and returns how many
+// outcomes the caller must gather. Shared by the batch and streaming maps.
+func scatterWave(pf platform.Platform, c rt.Ctx, co *engine.Core, gather rt.Chan, waveTasks []platform.Task, wave int, log *trace.Log) int {
+	live := co.Live()
+	if len(live) == 0 {
+		return 0
+	}
+	part := sched.WeightedBlocks(len(waveTasks), co.WeightSliceFor(live))
+	spawned := 0
+	for i, w := range live {
+		w := w
+		block := indexTasks(waveTasks, part[i])
+		if len(block) == 0 {
+			continue
+		}
+		spawned++
+		co.Rep.Requests++
+		if log != nil {
+			for _, t := range block {
+				log.Append(trace.Event{
+					At: c.Now(), Kind: trace.KindDispatch,
+					Node: pf.WorkerName(w), Task: t.ID,
+				})
+			}
+		}
+		c.Go(fmt.Sprintf("dmap.worker.%s.w%d", pf.WorkerName(w), wave), func(cc rt.Ctx) {
+			out := blockOutcome{worker: w}
+			blockStart := cc.Now()
+			for bi, t := range block {
+				res := pf.Exec(cc, w, t)
+				if res.Failed() {
+					// The rest of the block dies with the node. The task
+					// whose execution failed is lost work too.
+					out.lost = append(out.lost, block[bi:]...)
+					break
+				}
+				out.done++
+				out.executed += t.Cost
+				gather.Send(cc, gatherMsg{res: res})
+			}
+			out.busy = cc.Now() - blockStart
+			gather.Send(cc, gatherMsg{isOutcome: true, out: out})
+		})
+	}
+	return spawned
+}
+
+// absorbLoss books a crashed worker's block outcome: the lost executions
+// are counted, the worker retired. It returns the lost tasks for the
+// caller to re-queue.
+func absorbLoss(pf platform.Platform, c rt.Ctx, co *engine.Core, out blockOutcome) []platform.Task {
+	if len(out.lost) == 0 {
+		return nil
+	}
+	co.Rep.Failures += len(out.lost)
+	co.Retire(c, out.worker, fmt.Sprintf("worker %s failed; %d tasks re-queued",
+		pf.WorkerName(out.worker), len(out.lost)))
+	return out.lost
+}
+
 // Run executes tasks with block decomposition from within process c,
 // blocking until all waves complete, the detector stops the map, or every
 // worker has died.
@@ -130,24 +195,20 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.5
 	}
-	weights := normalisedWeights(workers, opts.Weights)
 
-	start := c.Now()
-	rep := Report{
-		BusyByWorker:  make(map[int]time.Duration, len(workers)),
-		TasksByWorker: make(map[int]int, len(workers)),
-	}
+	co := engine.NewCore(pf, workers, engine.ModeStop, c.Now(), engine.StreamOptions{
+		Weights:  engine.NormalisedWeights(workers, opts.Weights),
+		Detector: opts.Detector,
+		NormCost: opts.NormCost,
+		Log:      opts.Log,
+		OnResult: opts.OnResult,
+	})
+	rep := Report{}
 	runtime := pf.Runtime()
-	var lastCompletion time.Duration
 
-	dead := make(map[int]bool)
 	queue := tasks
 	for wave := 0; wave < waves; wave++ {
-		if len(queue) == 0 {
-			break
-		}
-		live := liveWorkers(workers, dead)
-		if len(live) == 0 {
+		if len(queue) == 0 || len(co.Live()) == 0 {
 			break
 		}
 		// The wave takes an even share of what remains, so later waves can
@@ -156,44 +217,14 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 		waveTasks := queue[:take]
 		queue = queue[take:]
 
-		part := sched.WeightedBlocks(len(waveTasks), weightSlice(live, weights))
-		gather := runtime.NewChan(fmt.Sprintf("dmap.gather.%d", wave), len(live)*2)
-		for i, w := range live {
-			w := w
-			block := indexTasks(waveTasks, part[i])
-			rep.Scatters++
-			if opts.Log != nil {
-				for _, t := range block {
-					opts.Log.Append(trace.Event{
-						At: c.Now(), Kind: trace.KindDispatch,
-						Node: pf.WorkerName(w), Task: t.ID,
-					})
-				}
-			}
-			c.Go(fmt.Sprintf("dmap.worker.%s.w%d", pf.WorkerName(w), wave), func(cc rt.Ctx) {
-				out := blockOutcome{worker: w}
-				blockStart := cc.Now()
-				for bi, t := range block {
-					res := pf.Exec(cc, w, t)
-					if res.Failed() {
-						// The rest of the block dies with the node. The task
-						// whose execution failed is lost work too.
-						out.lost = append(out.lost, block[bi:]...)
-						break
-					}
-					out.done++
-					out.executed += t.Cost
-					gather.Send(cc, gatherMsg{res: res})
-				}
-				out.busy = cc.Now() - blockStart
-				gather.Send(cc, gatherMsg{isOutcome: true, out: out})
-			})
-		}
+		gather := runtime.NewChan(fmt.Sprintf("dmap.gather.%d", wave), len(workers)*2)
+		spawned := scatterWave(pf, c, co, gather, waveTasks, wave, opts.Log)
+		rep.Scatters += spawned
 
-		// Gather: per-task results stream in; the wave ends when every live
-		// worker has reported its block outcome.
-		outcomes := make([]blockOutcome, 0, len(live))
-		for len(outcomes) < len(live) {
+		// Gather: per-task results stream in; the wave ends when every
+		// scattered block's outcome is back.
+		outcomes := make([]blockOutcome, 0, spawned)
+		for len(outcomes) < spawned {
 			v, ok := gather.Recv(c)
 			if !ok {
 				break
@@ -203,75 +234,47 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 				outcomes = append(outcomes, m.out)
 				continue
 			}
-			res := m.res
-			rep.Results = append(rep.Results, res)
-			rep.BusyByWorker[res.Worker] += res.Time
-			rep.TasksByWorker[res.Worker]++
-			lastCompletion = c.Now()
-			if opts.Log != nil {
-				opts.Log.Append(trace.Event{
-					At: c.Now(), Kind: trace.KindComplete,
-					Node: pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
-				})
-			}
-			if opts.OnResult != nil {
-				opts.OnResult(res)
-			}
-			if opts.Detector != nil && !rep.Breached {
-				opts.Detector.Observe(normalise(res, opts.NormCost))
-				if breached, stat := opts.Detector.Breached(); breached {
-					rep.Breached = true
-					rep.BreachStat = stat
-					if opts.Log != nil {
-						opts.Log.Append(trace.Event{
-							At: c.Now(), Kind: trace.KindThreshold,
-							Value: opts.Detector.Ratio(),
-							Msg:   fmt.Sprintf("map stop after wave %d: %s stat %v", wave, opts.Detector.Rule, stat),
-						})
-					}
-				}
-			}
+			co.Complete(c, m.res)
 		}
 		rep.WavesRun++
 		rep.WaveImbalance = append(rep.WaveImbalance, imbalance(outcomes))
 
-		// Crashes: requeue lost tasks at the head of the next wave and retire
-		// the dead workers.
+		// Crashes: requeue lost tasks at the head of the next wave and
+		// retire the dead workers.
 		for _, out := range outcomes {
-			if len(out.lost) == 0 {
-				continue
-			}
-			rep.Failures += len(out.lost)
-			queue = append(append([]platform.Task(nil), out.lost...), queue...)
-			if !dead[out.worker] {
-				dead[out.worker] = true
-				rep.DeadWorkers = append(rep.DeadWorkers, out.worker)
-				if opts.Log != nil {
-					opts.Log.Append(trace.Event{
-						At: c.Now(), Kind: trace.KindNote,
-						Node: pf.WorkerName(out.worker),
-						Msg:  fmt.Sprintf("worker %s failed; %d tasks re-queued", pf.WorkerName(out.worker), len(out.lost)),
-					})
-				}
+			if lost := absorbLoss(pf, c, co, out); len(lost) > 0 {
+				queue = append(append([]platform.Task(nil), lost...), queue...)
 			}
 		}
 
-		if rep.Breached {
+		if co.Rep.Breached {
+			if opts.Log != nil {
+				opts.Log.Append(trace.Event{
+					At: c.Now(), Kind: trace.KindNote,
+					Msg: fmt.Sprintf("map stop after wave %d", wave),
+				})
+			}
 			break
 		}
 		// Re-weight the next wave by observed throughput: the per-worker rate
 		// (cost per second) this wave, EWMA-blended into the prior weight so
 		// one noisy wave cannot capsize the decomposition.
 		if wave < waves-1 {
-			weights = reweight(weights, outcomes, alpha)
-			rep.FinalWeights = copyWeights(weights)
+			co.SetWeights(reweight(co.Weights(), outcomes, alpha))
+			rep.FinalWeights = co.Weights()
 		}
 	}
 
+	erep := co.Finish()
+	rep.Results = erep.Results
 	rep.Remaining = queue
-	if len(rep.Results) > 0 {
-		rep.Makespan = lastCompletion - start
-	}
+	rep.Breached = erep.Breached
+	rep.BreachStat = erep.BreachStat
+	rep.Makespan = erep.Makespan
+	rep.BusyByWorker = erep.BusyByWorker
+	rep.TasksByWorker = erep.TasksByWorker
+	rep.Failures = erep.Failures
+	rep.DeadWorkers = erep.DeadWorkers
 	return rep
 }
 
@@ -302,53 +305,6 @@ func waveSize(n, wavesLeft int) int {
 		size = n
 	}
 	return size
-}
-
-// liveWorkers filters out dead workers, preserving order.
-func liveWorkers(workers []int, dead map[int]bool) []int {
-	out := make([]int, 0, len(workers))
-	for _, w := range workers {
-		if !dead[w] {
-			out = append(out, w)
-		}
-	}
-	return out
-}
-
-// normalisedWeights builds a positive weight per worker summing to 1.
-func normalisedWeights(workers []int, in map[int]float64) map[int]float64 {
-	w := make(map[int]float64, len(workers))
-	var total float64
-	for _, id := range workers {
-		v := 0.0
-		if in != nil {
-			v = in[id]
-		}
-		if v < 0 {
-			v = 0
-		}
-		w[id] = v
-		total += v
-	}
-	if total <= 0 {
-		for _, id := range workers {
-			w[id] = 1 / float64(len(workers))
-		}
-		return w
-	}
-	for id := range w {
-		w[id] /= total
-	}
-	return w
-}
-
-// weightSlice projects the weight map onto the given worker order.
-func weightSlice(workers []int, w map[int]float64) []float64 {
-	out := make([]float64, len(workers))
-	for i, id := range workers {
-		out[i] = w[id]
-	}
-	return out
 }
 
 // indexTasks selects tasks by index list.
@@ -382,7 +338,7 @@ func imbalance(outcomes []blockOutcome) float64 {
 // reweight blends throughput-derived weights into the current ones. Workers
 // that executed nothing this wave (empty block, or died instantly) keep
 // their prior weight scaled into the new normalisation; dead workers are
-// naturally excluded on the next wave by liveWorkers.
+// naturally excluded on the next wave by the engine's retire list.
 func reweight(prev map[int]float64, outcomes []blockOutcome, alpha float64) map[int]float64 {
 	rates := make(map[int]float64, len(outcomes))
 	var totalRate float64
@@ -409,21 +365,12 @@ func reweight(prev map[int]float64, outcomes []blockOutcome, alpha float64) map[
 		total += blended
 	}
 	if total <= 0 {
-		return normalisedWeights(keys(next), nil)
+		return engine.NormalisedWeights(keys(next), nil)
 	}
 	for w := range next {
 		next[w] /= total
 	}
 	return next
-}
-
-// copyWeights clones a weight map for the report.
-func copyWeights(w map[int]float64) map[int]float64 {
-	out := make(map[int]float64, len(w))
-	for k, v := range w {
-		out[k] = v
-	}
-	return out
 }
 
 // keys lists a weight map's workers.
@@ -433,13 +380,4 @@ func keys(w map[int]float64) []int {
 		out = append(out, k)
 	}
 	return out
-}
-
-// normalise scales an observed task time to the reference cost (see
-// farm.normalise; duplicated to keep the skeleton packages independent).
-func normalise(res platform.Result, normCost float64) time.Duration {
-	if normCost <= 0 || res.Task.Cost <= 0 {
-		return res.Time
-	}
-	return time.Duration(float64(res.Time) * normCost / res.Task.Cost)
 }

@@ -1,0 +1,230 @@
+package dmap
+
+import (
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/engine"
+)
+
+// The streaming map is the deal skeleton under the engine's shared
+// adaptive contract: admitted tasks accumulate into decomposition waves,
+// each wave is scattered in one round-trip per live worker by the engine's
+// current weights, the wave's observed throughput re-weights the next
+// (EWMA), and a detector breach recalibrates the weights in place from the
+// engine's recent per-worker times. Waves are demand-driven: a wave fires
+// as soon as the previous one has drained, sized by whatever the admission
+// window has buffered (up to WaveSize), so the skeleton degrades to fine
+// scatters under light load and amortises dispatch under pressure.
+
+// StreamParams are the deal skeleton's own knobs; everything adaptive
+// comes from engine.StreamOptions.
+type StreamParams struct {
+	// WaveSize caps how many tasks one decomposition wave scatters
+	// (default: the admission window).
+	WaveSize int
+	// Alpha is the EWMA blend factor for between-wave re-weighting in
+	// (0, 1]; 0 defaults to 0.5.
+	Alpha float64
+}
+
+// stream inbox message kinds, multiplexed with gatherMsg payloads.
+type streamMsg struct {
+	kind smKind
+	task platform.Task
+	g    gatherMsg
+}
+
+type smKind int
+
+const (
+	smTask smKind = iota
+	smEOF
+	smGather
+)
+
+// Stream returns the deal skeleton's engine runner.
+func Stream(params StreamParams) engine.Runner {
+	return func(pf platform.Platform, c rt.Ctx, in rt.Chan, opts engine.StreamOptions) engine.StreamReport {
+		workers := opts.Workers
+		if len(workers) == 0 {
+			workers = make([]int, pf.Size())
+			for i := range workers {
+				workers[i] = i
+			}
+		}
+		window := opts.Window
+		if window <= 0 {
+			window = 2 * len(workers)
+		}
+		waveSize := params.WaveSize
+		if waveSize <= 0 || waveSize > window {
+			waveSize = window
+		}
+		alpha := params.Alpha
+		if alpha <= 0 || alpha > 1 {
+			alpha = 0.5
+		}
+		if opts.Weights == nil {
+			opts.Weights = engine.NormalisedWeights(workers, nil)
+		}
+
+		co := engine.NewCore(pf, workers, engine.ModeRecalibrate, c.Now(), opts)
+		runtime := pf.Runtime()
+		inbox := runtime.NewChan("dmap.stream.inbox", window*2+len(workers)*2+8)
+		intake := engine.NewIntake(runtime, c, "dmap.stream.credits", window)
+		intake.Pump(c, "dmap.stream.pump", in,
+			func(cc rt.Ctx, t platform.Task) { inbox.Send(cc, streamMsg{kind: smTask, task: t}) },
+			func(cc rt.Ctx) { inbox.Send(cc, streamMsg{kind: smEOF}) },
+		)
+		// Wave workers gather onto the coordinator inbox; one relay channel
+		// view keeps scatterWave shared with the batch map.
+		gather := gatherChan{inbox: inbox}
+
+		var (
+			buffer   []platform.Task // admitted, not yet scattered
+			inflight int             // admitted minus completed
+			eof      bool
+			waveSeq  int
+			pending  int // block outcomes the active wave still owes
+			outcomes []blockOutcome
+		)
+
+		fireWave := func() {
+			for pending == 0 && len(buffer) > 0 && len(co.Live()) > 0 {
+				take := len(buffer)
+				if take > waveSize {
+					take = waveSize
+				}
+				waveTasks := append([]platform.Task(nil), buffer[:take]...)
+				buffer = buffer[0:copy(buffer, buffer[take:])]
+				outcomes = outcomes[:0]
+				pending = scatterWave(pf, c, co, gather, waveTasks, waveSeq, opts.Log)
+				waveSeq++
+			}
+		}
+
+		for {
+			co.DrainControl(c, opts.Control)
+			if eof && pending == 0 && len(buffer) == 0 {
+				break
+			}
+			if len(co.Live()) == 0 && pending == 0 {
+				break
+			}
+			v, ok := inbox.Recv(c)
+			if !ok {
+				break
+			}
+			m := v.(streamMsg)
+			switch m.kind {
+			case smTask:
+				co.Rep.Admitted++
+				inflight++
+				if inflight > co.Rep.MaxInFlight {
+					co.Rep.MaxInFlight = inflight
+				}
+				buffer = append(buffer, m.task)
+				fireWave()
+			case smEOF:
+				eof = true
+				fireWave()
+			case smGather:
+				if m.g.isOutcome {
+					pending--
+					outcomes = append(outcomes, m.g.out)
+					if pending == 0 {
+						// Wave complete: absorb crashes, then blend the wave's
+						// observed throughput into the decomposition weights.
+						for _, out := range outcomes {
+							if lost := absorbLoss(pf, c, co, out); len(lost) > 0 {
+								buffer = append(append([]platform.Task(nil), lost...), buffer...)
+							}
+						}
+						co.SetWeights(streamReweight(co.Weights(), outcomes, alpha))
+						fireWave()
+					}
+					continue
+				}
+				inflight--
+				intake.Release(c)
+				co.Complete(c, m.g.res)
+			}
+		}
+
+		// Shut the pump down and recover any tasks it had already forwarded
+		// (plus the unscattered buffer) as Remaining.
+		intake.Close(c)
+		for {
+			v, ok, polled := inbox.TryRecv(c)
+			if !polled || !ok {
+				break
+			}
+			if m, isMsg := v.(streamMsg); isMsg && m.kind == smTask {
+				buffer = append(buffer, m.task)
+			}
+		}
+		co.Rep.Remaining = append([]platform.Task(nil), buffer...)
+		return co.Finish()
+	}
+}
+
+// gatherChan adapts the coordinator inbox to the rt.Chan surface
+// scatterWave sends gatherMsg values on, wrapping each in a streamMsg.
+type gatherChan struct {
+	inbox rt.Chan
+}
+
+func (g gatherChan) Send(c rt.Ctx, v any) {
+	g.inbox.Send(c, streamMsg{kind: smGather, g: v.(gatherMsg)})
+}
+func (g gatherChan) TrySend(c rt.Ctx, v any) bool {
+	return g.inbox.TrySend(c, streamMsg{kind: smGather, g: v.(gatherMsg)})
+}
+func (g gatherChan) Recv(c rt.Ctx) (any, bool)          { return g.inbox.Recv(c) }
+func (g gatherChan) TryRecv(c rt.Ctx) (any, bool, bool) { return g.inbox.TryRecv(c) }
+func (g gatherChan) Close(c rt.Ctx)                     { g.inbox.Close(c) }
+func (g gatherChan) Len() int                           { return g.inbox.Len() }
+func (g gatherChan) Cap() int                           { return g.inbox.Cap() }
+
+// streamReweight blends one wave's throughput-derived shares into the full
+// weight map: the wave's workers redistribute their combined prior mass by
+// observed rate (cost per second), EWMA-blended so one small wave cannot
+// capsize the decomposition; workers outside the wave keep their shares.
+func streamReweight(prev map[int]float64, outcomes []blockOutcome, alpha float64) map[int]float64 {
+	rates := make(map[int]float64, len(outcomes))
+	var totalRate, groupMass float64
+	for _, o := range outcomes {
+		groupMass += prev[o.worker]
+		if o.busy > 0 && o.executed > 0 {
+			r := o.executed / o.busy.Seconds()
+			rates[o.worker] = r
+			totalRate += r
+		}
+	}
+	if totalRate <= 0 {
+		return prev
+	}
+	next := make(map[int]float64, len(prev))
+	var total float64
+	for w, v := range prev {
+		next[w] = v
+	}
+	for _, o := range outcomes {
+		w := o.worker
+		target := prev[w]
+		if r, ok := rates[w]; ok {
+			target = groupMass * r / totalRate
+		}
+		next[w] = alpha*target + (1-alpha)*prev[w]
+	}
+	for _, v := range next {
+		total += v
+	}
+	if total <= 0 {
+		return prev
+	}
+	for w := range next {
+		next[w] /= total
+	}
+	return next
+}

@@ -1,0 +1,353 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/stats"
+	"grasp/internal/trace"
+)
+
+// Mode selects what a detector breach does to the run.
+type Mode int
+
+const (
+	// ModeStop halts dispatch on a breach so the caller can recalibrate
+	// and resume — Algorithm 2's batch feedback ("feeding back to the
+	// calibration phase").
+	ModeStop Mode = iota
+	// ModeRecalibrate adapts in place on a breach and keeps running — the
+	// streaming feedback, computed from live execution times instead of
+	// fresh probes.
+	ModeRecalibrate
+)
+
+// Core is the engine's adaptive state: calibrated weights, per-worker
+// recent times, the threshold detector, failure/retire bookkeeping, and
+// the accumulated report. One Core serves one skeleton run and must be
+// driven from a single coordinator process (the farmer, the dmap master,
+// the pipeline monitor); it is not safe for concurrent use.
+type Core struct {
+	// Rep accumulates the run's outcome; adapters write the fields the
+	// engine does not own (Requests, Admitted, MaxInFlight, Remaining).
+	Rep StreamReport
+
+	pf            platform.Platform
+	workers       []int
+	mode          Mode
+	weights       map[int]float64
+	det           *monitor.Detector
+	normCost      float64
+	recalWindow   int
+	log           *trace.Log
+	onResult      func(platform.Result)
+	onRecalibrate func(Breach) (Update, bool)
+	defaultRecal  func(Breach) (Update, bool)
+
+	faults   Faults
+	recent   map[int]*stats.Window
+	start    time.Duration
+	lastDone time.Duration
+}
+
+// NewCore builds the adaptive state for one run starting at time start.
+func NewCore(pf platform.Platform, workers []int, mode Mode, start time.Duration, opts StreamOptions) *Core {
+	recalWindow := opts.RecalWindow
+	if recalWindow <= 0 {
+		recalWindow = 8
+	}
+	return &Core{
+		Rep: StreamReport{
+			BusyByWorker:  make(map[int]time.Duration, len(workers)),
+			TasksByWorker: make(map[int]int, len(workers)),
+		},
+		pf:            pf,
+		workers:       workers,
+		mode:          mode,
+		weights:       opts.Weights,
+		det:           opts.Detector,
+		normCost:      opts.NormCost,
+		recalWindow:   recalWindow,
+		log:           opts.Log,
+		onResult:      opts.OnResult,
+		onRecalibrate: opts.OnRecalibrate,
+		start:         start,
+		recent:        make(map[int]*stats.Window, len(workers)),
+	}
+}
+
+// SetDefaultRecal installs the adapter's structural recalibration (remap a
+// pipeline stage, rebuild a decomposition...). It runs on breaches the
+// OnRecalibrate hook declined; the returned Update is applied on top of
+// whatever side effects the function performed, and changed reports
+// whether anything was actually adapted — a no-op outcome (no spare, no
+// distinguishable bottleneck) only resets the detector round and is not
+// counted as a recalibration. When no default is installed the engine
+// reweights workers by inverse recent mean time.
+func (co *Core) SetDefaultRecal(f func(Breach) (u Update, changed bool)) { co.defaultRecal = f }
+
+// Workers returns the chosen worker indices.
+func (co *Core) Workers() []int { return co.workers }
+
+// Weight returns worker w's current dispatch weight (uniform when no
+// weights were calibrated).
+func (co *Core) Weight(w int) float64 {
+	if co.weights == nil {
+		return 1 / float64(len(co.workers))
+	}
+	return co.weights[w]
+}
+
+// Weights returns a copy of the current weight map (uniform when none were
+// set).
+func (co *Core) Weights() map[int]float64 {
+	out := make(map[int]float64, len(co.workers))
+	for _, w := range co.workers {
+		out[w] = co.Weight(w)
+	}
+	return out
+}
+
+// WeightSliceFor projects current weights onto the given worker order.
+func (co *Core) WeightSliceFor(workers []int) []float64 {
+	out := make([]float64, len(workers))
+	for i, w := range workers {
+		out[i] = co.Weight(w)
+	}
+	return out
+}
+
+// SetWeights replaces the dispatch weights without counting a
+// recalibration — the lever for routine between-wave reweighting.
+func (co *Core) SetWeights(w map[int]float64) {
+	if w != nil {
+		co.weights = w
+	}
+}
+
+// Alive reports whether worker w has not been retired.
+func (co *Core) Alive(w int) bool { return co.faults.Alive(w) }
+
+// Live returns the non-retired workers, in calibration order.
+func (co *Core) Live() []int { return co.faults.Live(co.workers) }
+
+// Retire marks worker w dead, logging the note on first detection and
+// reporting whether this call was it.
+func (co *Core) Retire(c rt.Ctx, w int, note string) bool {
+	if !co.faults.Retire(w) {
+		return false
+	}
+	co.Rep.DeadWorkers = co.faults.Dead
+	if co.log != nil {
+		co.log.Append(trace.Event{
+			At: c.Now(), Kind: trace.KindNote,
+			Node: co.pf.WorkerName(w), Msg: note,
+		})
+	}
+	return true
+}
+
+// Fail records one execution lost to a worker crash and retires the
+// worker. disposition names what the adapter does with the task
+// ("re-queued", "retried after remap", ...) so traces stay truthful.
+// Rep.Failures is the authoritative count; co.faults serves retire
+// bookkeeping only.
+func (co *Core) Fail(c rt.Ctx, res platform.Result, disposition string) {
+	co.Rep.Failures++
+	co.Retire(c, res.Worker, fmt.Sprintf("worker %s failed; task %d %s",
+		co.pf.WorkerName(res.Worker), res.Task.ID, disposition))
+}
+
+// Record books one finished task: appended to Results, completion time
+// noted, OnResult fired. For multi-execution skeletons (pipelines) this is
+// called once per task, at exit.
+func (co *Core) Record(c rt.Ctx, res platform.Result) {
+	co.Rep.Results = append(co.Rep.Results, res)
+	co.lastDone = c.Now()
+	if co.onResult != nil {
+		co.onResult(res)
+	}
+}
+
+// Observe books one successful execution — per-worker busy/count
+// attribution, the recent-time window, the completion trace event — and
+// feeds the detector. It returns true when this observation breached the
+// threshold (after the breach has been handled per the Mode).
+func (co *Core) Observe(c rt.Ctx, res platform.Result) bool {
+	co.Rep.BusyByWorker[res.Worker] += res.Time
+	co.Rep.TasksByWorker[res.Worker]++
+	norm := Normalise(res, co.normCost)
+	win := co.recent[res.Worker]
+	if win == nil {
+		win = stats.NewWindow(co.recalWindow)
+		co.recent[res.Worker] = win
+	}
+	win.Push(norm.Seconds())
+	if co.log != nil {
+		co.log.Append(trace.Event{
+			At: c.Now(), Kind: trace.KindComplete,
+			Node: co.pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
+		})
+	}
+	return co.observeDetector(c, norm)
+}
+
+// Complete is Record plus Observe: the whole bookkeeping for skeletons
+// where one execution finishes one task (farm, dmap).
+func (co *Core) Complete(c rt.Ctx, res platform.Result) bool {
+	co.Record(c, res)
+	return co.Observe(c, res)
+}
+
+// observeDetector feeds one normalised time to the detector and handles a
+// breach: ModeStop marks the report and returns; ModeRecalibrate consults
+// the OnRecalibrate hook, then the adapter default, then the built-in
+// inverse-recent-mean reweight, and applies the update in place.
+func (co *Core) observeDetector(c rt.Ctx, norm time.Duration) bool {
+	if co.det == nil {
+		return false
+	}
+	if co.mode == ModeStop && co.Rep.Breached {
+		return false
+	}
+	co.det.Observe(norm)
+	breached, stat := co.det.Breached()
+	if !breached {
+		return false
+	}
+	co.Rep.Breached = true
+	co.Rep.BreachStat = stat
+	co.Rep.Breaches++
+	if co.log != nil {
+		co.log.Append(trace.Event{
+			At: c.Now(), Kind: trace.KindThreshold,
+			Value: co.det.Ratio(),
+			Msg:   fmt.Sprintf("breach: %s stat %v", co.det.Rule, stat),
+		})
+	}
+	if co.mode == ModeStop {
+		return true
+	}
+	b := Breach{Stat: stat, At: c.Now(), RecentMean: co.RecentMeans()}
+	if co.onRecalibrate != nil {
+		if u, ok := co.onRecalibrate(b); ok {
+			co.ApplyUpdate(c, u, true)
+			return true
+		}
+	}
+	var u Update
+	changed := false
+	if co.defaultRecal != nil {
+		u, changed = co.defaultRecal(b)
+	} else {
+		u = co.reweightByRecentMean(b.RecentMean)
+		changed = u.Weights != nil
+	}
+	if changed {
+		co.ApplyUpdate(c, u, true)
+	} else {
+		// Nothing could be adapted (no spare, no recent observations): end
+		// the detector round so the same breach does not re-fire on every
+		// observation, but do not report a recalibration that never
+		// happened.
+		co.det.Reset()
+	}
+	return true
+}
+
+// ApplyUpdate applies a live re-calibration: weights and threshold are
+// replaced, the detector round resets (always after a breach), and the
+// recalibration is counted and logged.
+func (co *Core) ApplyUpdate(c rt.Ctx, u Update, breach bool) {
+	if u.Weights != nil {
+		co.weights = u.Weights
+	}
+	if co.det != nil {
+		if u.Z > 0 {
+			co.det.Z = u.Z
+		}
+		if breach || u.ResetDetector {
+			co.det.Reset()
+		}
+	}
+	co.Rep.Recalibrations++
+	if co.log != nil {
+		co.log.Append(trace.Event{
+			At: c.Now(), Kind: trace.KindRecalibrate,
+			Msg: fmt.Sprintf("recalibration %d (breach=%v)", co.Rep.Recalibrations, breach),
+		})
+	}
+}
+
+// DrainControl applies every Update queued on the control channel. Values
+// of any other type are ignored. Adapters call this before each dispatch
+// decision so external updates always precede the next observation.
+func (co *Core) DrainControl(c rt.Ctx, control rt.Chan) {
+	if control == nil {
+		return
+	}
+	for {
+		v, ok, polled := control.TryRecv(c)
+		if !polled || !ok {
+			return
+		}
+		if u, isUpdate := v.(Update); isUpdate {
+			co.ApplyUpdate(c, u, false)
+		}
+	}
+}
+
+// RecentMeans maps each worker with recent completions to the mean of its
+// recent normalised execution times.
+func (co *Core) RecentMeans() map[int]time.Duration {
+	means := make(map[int]time.Duration, len(co.recent))
+	for w, win := range co.recent {
+		if win.Len() > 0 {
+			means[w] = time.Duration(win.Mean() * float64(time.Second))
+		}
+	}
+	return means
+}
+
+// reweightByRecentMean re-weights the live workers by inverse recent mean
+// time — calibration from live observations, the streaming stand-in for
+// re-running Algorithm 1's probes. Workers without recent completions get
+// the mean observed speed so they are neither starved nor favoured until
+// they report in.
+func (co *Core) reweightByRecentMean(means map[int]time.Duration) Update {
+	inv := make(map[int]float64, len(co.workers))
+	var sum float64
+	var n int
+	for _, w := range co.workers {
+		if m, ok := means[w]; ok && m > 0 && co.Alive(w) {
+			inv[w] = 1 / m.Seconds()
+			sum += inv[w]
+			n++
+		}
+	}
+	if n == 0 {
+		return Update{}
+	}
+	neutral := sum / float64(n)
+	for _, w := range co.workers {
+		if _, ok := inv[w]; !ok && co.Alive(w) {
+			inv[w] = neutral
+			sum += neutral
+		}
+	}
+	for w := range inv {
+		inv[w] /= sum
+	}
+	return Update{Weights: inv}
+}
+
+// Finish computes the makespan and returns the completed report.
+func (co *Core) Finish() StreamReport {
+	if len(co.Rep.Results) > 0 {
+		co.Rep.Makespan = co.lastDone - co.start
+	}
+	return co.Rep
+}

@@ -1,0 +1,185 @@
+// Package engine is the skeleton-agnostic adaptive execution contract: the
+// one runtime mechanism the paper applies to every structured-parallelism
+// skeleton, extracted from the per-skeleton copies that used to live in
+// farm, dmap, pipeline, dc, reduce, and compose.
+//
+// The contract is the paper's calibrate → execute → monitor → recalibrate
+// loop, factored into pieces any skeleton can drive:
+//
+//   - calibrated weights in: a Core starts from the dispatch weights
+//     Algorithm 1's ranking produced and answers Weight queries for
+//     whatever dispatch structure the skeleton uses (chunk sizes, block
+//     decompositions, stage mappings);
+//   - breach events and per-worker observed times out: every completed
+//     execution feeds the Core's per-worker recent-time windows and the
+//     job's monitor.Detector — Algorithm 2's threshold rule evaluated
+//     uniformly for every skeleton;
+//   - a Recalibrate hook: on breach the Core consults the caller's
+//     OnRecalibrate hook, then the skeleton adapter's structural default
+//     (reweight for task-parallel skeletons, remap/swap for pipelines),
+//     and applies the resulting Update in place — or, in ModeStop, halts
+//     dispatch so a batch caller can recalibrate and resume;
+//   - streaming ingestion with the bounded admission-credit window: an
+//     Intake pump admits tasks only while credits remain, so backpressure
+//     propagates from the skeleton all the way to the producer;
+//   - failure/retire handling: Faults records executions lost to worker
+//     crashes and retires dead workers from every future dispatch
+//     decision.
+//
+// A skeleton adapter is a Runner: it owns the dispatch topology (demand
+// pulls, scatter waves, stage graphs) and delegates every adaptive decision
+// to the engine. The service layer holds only Runners, which is what makes
+// the daemon skeleton-agnostic.
+package engine
+
+import (
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/trace"
+)
+
+// StreamOptions is the adaptive contract every skeleton adapter accepts:
+// nothing in here names a dispatch structure — those are the adapter's own
+// parameters.
+type StreamOptions struct {
+	// Workers are the chosen worker indices (default: all platform workers).
+	Workers []int
+	// Weights are initial dispatch weights per worker, typically from the
+	// calibration ranking (optional); live recalibration may replace them.
+	Weights map[int]float64
+	// Detector observes normalised execution times; on breach the engine
+	// recalibrates (ModeRecalibrate) or stops (ModeStop). Nil disables
+	// adaptation.
+	Detector *monitor.Detector
+	// NormCost, when positive, normalises observed times by task cost
+	// before feeding the detector: observed · NormCost / task.Cost.
+	NormCost float64
+	// Window bounds how many admitted-but-uncompleted tasks the skeleton
+	// holds (default 2× the worker count) — the admission-credit window.
+	Window int
+	// RecalWindow is how many recent per-worker times inform a live
+	// recalibration (default 8).
+	RecalWindow int
+	// Log receives dispatch/complete/threshold/recalibrate events.
+	Log *trace.Log
+	// OnResult is invoked once per finished task (for a pipeline: once per
+	// item leaving the last stage).
+	OnResult func(platform.Result)
+	// OnRecalibrate is consulted on every detector breach. Returning
+	// ok=true applies the update; ok=false falls back to the adapter's
+	// structural default (or the built-in inverse-recent-mean reweight).
+	OnRecalibrate func(Breach) (Update, bool)
+	// Control, if non-nil, is polled for externally injected Update values
+	// (live re-calibration without draining). Non-Update values are
+	// ignored.
+	Control rt.Chan
+}
+
+// Breach describes a mid-run detector breach to recalibration hooks.
+type Breach struct {
+	// Stat is the statistic that crossed the threshold.
+	Stat time.Duration
+	// At is the runtime clock at the breach.
+	At time.Duration
+	// RecentMean maps worker → mean of its recent (RecalWindow) normalised
+	// execution times. Workers with no recent completions are absent.
+	RecentMean map[int]time.Duration
+}
+
+// Update is a live re-calibration applied to a running skeleton.
+type Update struct {
+	// Weights replaces the dispatch weights when non-nil.
+	Weights map[int]float64
+	// Z replaces the detector threshold when positive.
+	Z time.Duration
+	// ResetDetector discards the detector's current observation round.
+	// Breach-triggered updates always reset regardless of this flag.
+	ResetDetector bool
+}
+
+// StreamReport is the skeleton-agnostic outcome of an adaptive run: every
+// adapter fills the same fields, so the service layer can account for any
+// skeleton identically.
+type StreamReport struct {
+	// Results holds one entry per finished task, in completion order.
+	Results []platform.Result
+	// Remaining are tasks the run could not finish (all workers dead, or a
+	// ModeStop breach with work left).
+	Remaining []platform.Task
+	// Breached reports whether the detector ever triggered.
+	Breached bool
+	// BreachStat is the statistic of the most recent breach.
+	BreachStat time.Duration
+	// Makespan is the time from start to the last completion.
+	Makespan time.Duration
+	// BusyByWorker sums execution time per worker index (for a pipeline,
+	// per-stage executions included).
+	BusyByWorker map[int]time.Duration
+	// TasksByWorker counts executions per worker index.
+	TasksByWorker map[int]int
+	// Requests counts dispatch round-trips (farm chunk requests, dmap
+	// scatters) — the dispatch-traffic cost coarser granularity amortises.
+	Requests int
+	// Failures counts executions lost to worker crashes.
+	Failures int
+	// DeadWorkers lists workers that crashed, in detection order.
+	DeadWorkers []int
+	// Admitted counts tasks taken from the input channel.
+	Admitted int
+	// MaxInFlight is the peak number of admitted-but-uncompleted tasks —
+	// never above the window when backpressure is working.
+	MaxInFlight int
+	// Recalibrations counts live re-calibrations (breaches plus applied
+	// control updates).
+	Recalibrations int
+	// Breaches counts detector breaches.
+	Breaches int
+}
+
+// Runner is the uniform entry point every skeleton adapter satisfies:
+// tasks are read from in (values must be platform.Task) until it is
+// closed, admission is bounded by the credit window, results stream out
+// through OnResult, and breaches adapt the run in place. A Runner returns
+// once the input is closed and every admitted task has finished (or been
+// recorded in Remaining).
+type Runner func(pf platform.Platform, c rt.Ctx, in rt.Chan, opts StreamOptions) StreamReport
+
+// Normalise scales an observed execution time to the reference cost so the
+// detector compares like with like on irregular workloads.
+func Normalise(res platform.Result, normCost float64) time.Duration {
+	if normCost <= 0 || res.Task.Cost <= 0 {
+		return res.Time
+	}
+	return time.Duration(float64(res.Time) * normCost / res.Task.Cost)
+}
+
+// NormalisedWeights builds a positive weight per worker summing to 1,
+// falling back to uniform when the input carries no positive mass.
+func NormalisedWeights(workers []int, in map[int]float64) map[int]float64 {
+	w := make(map[int]float64, len(workers))
+	var total float64
+	for _, id := range workers {
+		v := 0.0
+		if in != nil {
+			v = in[id]
+		}
+		if v < 0 {
+			v = 0
+		}
+		w[id] = v
+		total += v
+	}
+	if total <= 0 {
+		for _, id := range workers {
+			w[id] = 1 / float64(len(workers))
+		}
+		return w
+	}
+	for id := range w {
+		w[id] /= total
+	}
+	return w
+}

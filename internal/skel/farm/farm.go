@@ -5,10 +5,14 @@
 // The farm is demand-driven: a farmer process hands chunks of tasks to
 // worker processes as they ask for more, so fast (or lightly loaded) nodes
 // naturally pull more work. Granularity is controlled by a sched.ChunkPolicy
-// and dispatch shares by calibrated weights. A monitor.Detector observing
-// per-task times implements Algorithm 2's threshold rule; on breach the farm
-// stops dispatching and returns the unexecuted tail so the GRASP core can
-// recalibrate and resume — "feeding back to the calibration phase".
+// and dispatch shares by calibrated weights. Everything adaptive — the
+// weights, the monitor.Detector implementing Algorithm 2's threshold rule,
+// failure/retire handling, live recalibration — is delegated to the shared
+// skel/engine contract; this package owns only the demand-driven dispatch
+// topology. On a batch breach the farm stops dispatching and returns the
+// unexecuted tail so the GRASP core can recalibrate and resume ("feeding
+// back to the calibration phase"); the streaming farm (Stream, RunStream)
+// instead recalibrates in place and keeps serving.
 //
 // RunStatic provides the non-adaptive baseline the experiments compare
 // against: a fixed task-to-node partition decided up front.
@@ -22,6 +26,7 @@ import (
 	"grasp/internal/platform"
 	"grasp/internal/rt"
 	"grasp/internal/sched"
+	"grasp/internal/skel/engine"
 	"grasp/internal/trace"
 )
 
@@ -114,18 +119,16 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 	if policy == nil {
 		policy = sched.Single{}
 	}
-	weight := func(w int) float64 {
-		if opts.Weights == nil {
-			return 1 / float64(len(workers))
-		}
-		return opts.Weights[w]
-	}
 
-	start := c.Now()
-	rep := Report{
-		BusyByWorker:  make(map[int]time.Duration, len(workers)),
-		TasksByWorker: make(map[int]int, len(workers)),
-	}
+	// The engine carries the adaptive mechanism in stop-on-breach mode:
+	// weights, detector, failure/retire, and report accumulation.
+	co := engine.NewCore(pf, workers, engine.ModeStop, c.Now(), engine.StreamOptions{
+		Weights:  opts.Weights,
+		Detector: opts.Detector,
+		NormCost: opts.NormCost,
+		Log:      opts.Log,
+		OnResult: opts.OnResult,
+	})
 	runtime := pf.Runtime()
 	inbox := runtime.NewChan("farm.inbox", len(workers)*2)
 
@@ -135,10 +138,8 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 	// Farmer: multiplex requests and results until every worker has exited.
 	next := 0 // index of the first undispatched task
 	var retry []platform.Task
-	dead := make(map[int]bool)
 	stopped := false
 	live := len(workers)
-	var lastCompletion time.Duration
 	for live > 0 {
 		v, ok := inbox.Recv(c)
 		if !ok {
@@ -146,7 +147,7 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 		}
 		if !stopped && opts.Stop != nil && opts.Stop() {
 			stopped = true
-			rep.Breached = true
+			co.Rep.Breached = true
 			if opts.Log != nil {
 				opts.Log.Append(trace.Event{
 					At: c.Now(), Kind: trace.KindThreshold,
@@ -157,17 +158,17 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 		m := v.(message)
 		switch m.kind {
 		case msgRequest:
-			rep.Requests++
+			co.Rep.Requests++
 			remaining := len(retry) + len(tasks) - next
-			if stopped || remaining == 0 || dead[m.worker] {
+			if stopped || remaining == 0 || !co.Alive(m.worker) {
 				m.reply.Send(c, []platform.Task{})
 				continue
 			}
-			n := policy.Chunk(remaining, len(workers), weight(m.worker))
+			n := policy.Chunk(remaining, len(workers), co.Weight(m.worker))
 			if wc, isWC := policy.(sched.WorkerChunker); isWC {
 				// Worker-aware policies (e.g. sched.AdaptiveChunk) size the
 				// chunk for the specific requester.
-				n = wc.ChunkFor(m.worker, remaining, len(workers), weight(m.worker))
+				n = wc.ChunkFor(m.worker, remaining, len(workers), co.Weight(m.worker))
 			}
 			chunk := make([]platform.Task, 0, n)
 			// Re-queued (failed) tasks are served first: their loss already
@@ -194,61 +195,23 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 			if res.Failed() {
 				// The worker crashed mid-task: re-queue the task and stop
 				// feeding that worker.
-				rep.Failures++
+				co.Fail(c, res, "re-queued")
 				retry = append(retry, res.Task)
-				if !dead[res.Worker] {
-					dead[res.Worker] = true
-					rep.DeadWorkers = append(rep.DeadWorkers, res.Worker)
-					if opts.Log != nil {
-						opts.Log.Append(trace.Event{
-							At: c.Now(), Kind: trace.KindNote,
-							Node: pf.WorkerName(res.Worker),
-							Msg:  fmt.Sprintf("worker %s failed; task %d re-queued", pf.WorkerName(res.Worker), res.Task.ID),
-						})
-					}
-				}
 				continue
 			}
-			rep.Results = append(rep.Results, res)
-			rep.BusyByWorker[res.Worker] += res.Time
-			rep.TasksByWorker[res.Worker]++
-			lastCompletion = c.Now()
 			if obs, isObs := policy.(sched.TimeObserver); isObs {
 				obs.ObserveTime(res.Worker, res.Time)
 			}
-			if opts.Log != nil {
-				opts.Log.Append(trace.Event{
-					At: c.Now(), Kind: trace.KindComplete,
-					Node: pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
-				})
-			}
-			if opts.OnResult != nil {
-				opts.OnResult(res)
-			}
-			if opts.Detector != nil && !stopped {
-				opts.Detector.Observe(normalise(res, opts.NormCost))
-				if breached, stat := opts.Detector.Breached(); breached {
-					stopped = true
-					rep.Breached = true
-					rep.BreachStat = stat
-					if opts.Log != nil {
-						opts.Log.Append(trace.Event{
-							At: c.Now(), Kind: trace.KindThreshold,
-							Value: opts.Detector.Ratio(),
-							Msg:   fmt.Sprintf("farm stop: %s stat %v", opts.Detector.Rule, stat),
-						})
-					}
-				}
+			if co.Complete(c, res) {
+				stopped = true
 			}
 		case msgDone:
 			live--
 		}
 	}
+	rep := co.Finish()
 	rep.Remaining = append(retry, tasks[next:]...)
-	if len(rep.Results) > 0 {
-		rep.Makespan = lastCompletion - start
-	}
-	return rep
+	return reportFromEngine(rep)
 }
 
 // spawnWorkers starts one demand-driven worker process per index, shared
@@ -279,15 +242,6 @@ func spawnWorkers(pf platform.Platform, c rt.Ctx, inbox rt.Chan, workers []int, 
 			inbox.Send(cc, message{kind: msgDone, worker: w})
 		})
 	}
-}
-
-// normalise scales an observed task time to the reference cost so the
-// detector compares like with like on irregular workloads.
-func normalise(res platform.Result, normCost float64) time.Duration {
-	if normCost <= 0 || res.Task.Cost <= 0 {
-		return res.Time
-	}
-	return time.Duration(float64(res.Time) * normCost / res.Task.Cost)
 }
 
 // RunStatic executes tasks under a fixed task-to-worker partition: the
@@ -324,7 +278,7 @@ func RunStatic(pf platform.Platform, c rt.Ctx, tasks []platform.Task, partition 
 		})
 	}
 	var lastCompletion time.Duration
-	dead := make(map[int]bool)
+	var faults engine.Faults
 	for i := 0; i < total; i++ {
 		v, ok := results.Recv(c)
 		if !ok {
@@ -334,12 +288,9 @@ func RunStatic(pf platform.Platform, c rt.Ctx, tasks []platform.Task, partition 
 		if res.Failed() {
 			// The static farm has no re-dispatch: the task is simply lost,
 			// which is exactly the weakness the adaptive farm removes.
-			rep.Failures++
+			faults.Failures++
+			faults.Retire(res.Worker)
 			rep.Remaining = append(rep.Remaining, res.Task)
-			if !dead[res.Worker] {
-				dead[res.Worker] = true
-				rep.DeadWorkers = append(rep.DeadWorkers, res.Worker)
-			}
 			continue
 		}
 		rep.Results = append(rep.Results, res)
@@ -353,6 +304,8 @@ func RunStatic(pf platform.Platform, c rt.Ctx, tasks []platform.Task, partition 
 			})
 		}
 	}
+	rep.Failures = faults.Failures
+	rep.DeadWorkers = faults.Dead
 	if len(rep.Results) > 0 {
 		rep.Makespan = lastCompletion - start
 	}

@@ -1,22 +1,32 @@
 package farm
 
 import (
-	"fmt"
-	"time"
-
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
 	"grasp/internal/sched"
-	"grasp/internal/stats"
+	"grasp/internal/skel/engine"
 	"grasp/internal/trace"
 )
 
-// StreamOptions configures a streaming farm run. Unlike the batch farm,
-// which receives its whole task set up front and stops on a detector
-// breach, the streaming farm is a long-lived service: tasks arrive on a
-// channel, admission is bounded by an in-flight window (backpressure), and
-// a breach recalibrates the farm in place — dispatch never drains.
+// The streaming farm is the demand-driven dispatch strategy under the
+// engine's shared adaptive contract: tasks arrive on a channel, admission
+// is bounded by the engine's credit window (backpressure), and a breach
+// recalibrates the farm in place — dispatch never drains. Everything
+// adaptive (weights, the detector, recalibration, failure/retire, the
+// control channel) is the engine's; this file owns only the farm's
+// topology: parked worker requests served chunks of pending tasks.
+
+// BreachInfo describes a mid-stream detector breach to OnRecalibrate. It
+// is the engine's breach event; the alias remains for farm-first callers.
+type BreachInfo = engine.Breach
+
+// StreamUpdate is a live re-calibration applied to a running stream farm
+// (the engine's Update; service control channels carry this type).
+type StreamUpdate = engine.Update
+
+// StreamOptions configures a streaming farm run. It is the farm-shaped
+// view of engine.StreamOptions plus the farm's own chunk policy.
 type StreamOptions struct {
 	// Workers are the chosen worker indices (default: all platform workers).
 	Workers []int
@@ -36,48 +46,20 @@ type StreamOptions struct {
 	// OnResult is invoked at the farmer for every completed task (optional).
 	OnResult func(platform.Result)
 	// Window bounds how many admitted-but-uncompleted tasks the farm holds
-	// (pending + executing). When the window is full the farm stops reading
-	// the input channel, so producers block once its buffer fills — the
-	// backpressure path. Default 2× the worker count.
+	// (default 2× the worker count) — the engine's admission-credit window.
 	Window int
 	// RecalWindow is how many recent per-worker task times inform a live
 	// recalibration (default 8).
 	RecalWindow int
 	// OnRecalibrate, if set, is consulted on every detector breach with the
 	// observed per-worker recent means. Returning ok=true applies the
-	// update; ok=false falls back to the built-in recalibration (re-weight
-	// workers by inverse recent mean time). Either way the detector round is
-	// reset and the stream continues.
+	// update; ok=false falls back to the engine's built-in recalibration
+	// (re-weight workers by inverse recent mean time). Either way the
+	// detector round is reset and the stream continues.
 	OnRecalibrate func(BreachInfo) (StreamUpdate, bool)
 	// Control, if non-nil, is polled by the farmer for externally injected
-	// StreamUpdate values (live re-calibration without draining). Values of
-	// any other type are ignored. Updates are drained before every farm
-	// event, so they always take effect before the next dispatch decision
-	// and the next detector observation; on an idle stream an update waits
-	// for the next event — which is also the first moment it could matter.
+	// StreamUpdate values (live re-calibration without draining).
 	Control rt.Chan
-}
-
-// BreachInfo describes a mid-stream detector breach to OnRecalibrate.
-type BreachInfo struct {
-	// Stat is the statistic that crossed the threshold.
-	Stat time.Duration
-	// At is the farm clock at the breach.
-	At time.Duration
-	// RecentMean maps worker → mean of its recent (RecalWindow) normalised
-	// task times. Workers with no recent completions are absent.
-	RecentMean map[int]time.Duration
-}
-
-// StreamUpdate is a live re-calibration applied to a running stream farm.
-type StreamUpdate struct {
-	// Weights replaces the dispatch weights when non-nil.
-	Weights map[int]float64
-	// Z replaces the detector threshold when positive.
-	Z time.Duration
-	// ResetDetector discards the detector's current observation round.
-	// Breach-triggered updates always reset regardless of this flag.
-	ResetDetector bool
 }
 
 // StreamReport is the outcome of a streaming farm run.
@@ -95,342 +77,219 @@ type StreamReport struct {
 	Breaches int
 }
 
-// streamToken is the admission credit the pump acquires per task.
-type streamToken struct{}
-
 // msgTask and msgEOF extend the farmer inbox protocol for streams.
 const (
 	msgTask msgKind = iota + 16
 	msgEOF
 )
 
-// RunStream executes a long-lived demand-driven farm from within process c:
-// tasks are read from in (values must be platform.Task) until it is closed,
-// admission is limited to a bounded in-flight window, and detector breaches
-// re-calibrate the farm in place — the stream analogue of Algorithm 2's
-// feedback, computed from live execution times instead of fresh probes.
-// RunStream returns once the input is closed and every admitted task has
-// completed.
-func RunStream(pf platform.Platform, c rt.Ctx, in rt.Chan, opts StreamOptions) StreamReport {
-	workers := opts.Workers
-	if len(workers) == 0 {
-		workers = make([]int, pf.Size())
-		for i := range workers {
-			workers[i] = i
-		}
-	}
-	policy := opts.Chunk
-	if policy == nil {
-		policy = sched.Single{}
-	}
-	window := opts.Window
-	if window <= 0 {
-		window = 2 * len(workers)
-	}
-	recalWindow := opts.RecalWindow
-	if recalWindow <= 0 {
-		recalWindow = 8
-	}
-	weights := opts.Weights
-	weight := func(w int) float64 {
-		if weights == nil {
-			return 1 / float64(len(workers))
-		}
-		return weights[w]
-	}
-
-	start := c.Now()
-	rep := StreamReport{Report: Report{
-		BusyByWorker:  make(map[int]time.Duration, len(workers)),
-		TasksByWorker: make(map[int]int, len(workers)),
-	}}
-	runtime := pf.Runtime()
-	inbox := runtime.NewChan("farm.stream.inbox", len(workers)*2)
-	credits := runtime.NewChan("farm.stream.credits", window)
-	for i := 0; i < window; i++ {
-		credits.Send(c, streamToken{})
-	}
-
-	// Pump: acquire an admission credit, then forward the next input task to
-	// the farmer. Blocking on credits when the window is full is what stops
-	// the pump reading in, which in turn blocks producers once in's buffer
-	// fills — backpressure all the way to the submitter.
-	c.Go("farm.stream.pump", func(cc rt.Ctx) {
-		for {
-			if _, ok := credits.Recv(cc); !ok {
-				return // farm shut down with dead workers; stop pumping
+// Stream returns the farm's engine runner: demand-driven dispatch with the
+// given chunk policy (default sched.Single) under the engine's adaptive
+// contract. This is what the skeleton-agnostic service layer holds.
+func Stream(chunk sched.ChunkPolicy) engine.Runner {
+	return func(pf platform.Platform, c rt.Ctx, in rt.Chan, opts engine.StreamOptions) engine.StreamReport {
+		workers := opts.Workers
+		if len(workers) == 0 {
+			workers = make([]int, pf.Size())
+			for i := range workers {
+				workers[i] = i
 			}
-			v, ok := in.Recv(cc)
-			if !ok {
-				inbox.Send(cc, message{kind: msgEOF})
+		}
+		policy := chunk
+		if policy == nil {
+			policy = sched.Single{}
+		}
+		window := opts.Window
+		if window <= 0 {
+			window = 2 * len(workers)
+		}
+
+		co := engine.NewCore(pf, workers, engine.ModeRecalibrate, c.Now(), opts)
+		runtime := pf.Runtime()
+		inbox := runtime.NewChan("farm.stream.inbox", len(workers)*2)
+		intake := engine.NewIntake(runtime, c, "farm.stream.credits", window)
+		intake.Pump(c, "farm.stream.pump", in,
+			func(cc rt.Ctx, t platform.Task) { inbox.Send(cc, message{kind: msgTask, task: t}) },
+			func(cc rt.Ctx) { inbox.Send(cc, message{kind: msgEOF}) },
+		)
+
+		// Workers: the same demand-driven loop as the batch farm — except an
+		// empty chunk only ever means shutdown (the farmer parks idle
+		// requests instead of answering them).
+		spawnWorkers(pf, c, inbox, workers, "farm.stream")
+
+		type parkedReq struct {
+			worker int
+			reply  rt.Chan
+		}
+		var (
+			pending  []platform.Task // admitted, not yet dispatched
+			parked   []parkedReq     // idle workers awaiting work
+			inflight int             // admitted minus completed
+			eof      bool
+			released bool // empty chunks sent: workers are shutting down
+			live     = len(workers)
+		)
+
+		// serve hands the front parked worker a chunk of pending tasks.
+		serve := func() {
+			for len(parked) > 0 && len(pending) > 0 {
+				p := parked[0]
+				parked = parked[0:copy(parked, parked[1:])]
+				if !co.Alive(p.worker) {
+					p.reply.Send(c, []platform.Task{})
+					continue
+				}
+				n := policy.Chunk(len(pending), len(workers), co.Weight(p.worker))
+				if wc, isWC := policy.(sched.WorkerChunker); isWC {
+					n = wc.ChunkFor(p.worker, len(pending), len(workers), co.Weight(p.worker))
+				}
+				if n > len(pending) {
+					n = len(pending)
+				}
+				if n < 1 {
+					n = 1
+				}
+				chunk := append([]platform.Task(nil), pending[:n]...)
+				pending = pending[0:copy(pending, pending[n:])]
+				if opts.Log != nil {
+					for _, task := range chunk {
+						opts.Log.Append(trace.Event{
+							At: c.Now(), Kind: trace.KindDispatch,
+							Node: pf.WorkerName(p.worker), Task: task.ID,
+						})
+					}
+				}
+				p.reply.Send(c, chunk)
+			}
+		}
+
+		// release shuts the workers down once the stream is fully drained.
+		release := func() {
+			if released || !eof || len(pending) > 0 || inflight > 0 {
 				return
 			}
-			inbox.Send(cc, message{kind: msgTask, task: v.(platform.Task)})
-		}
-	})
-
-	// Workers: the same demand-driven loop as the batch farm — except an
-	// empty chunk only ever means shutdown (the farmer parks idle requests
-	// instead of answering them).
-	spawnWorkers(pf, c, inbox, workers, "farm.stream")
-
-	type parkedReq struct {
-		worker int
-		reply  rt.Chan
-	}
-	var (
-		pending  []platform.Task // admitted, not yet dispatched
-		parked   []parkedReq     // idle workers awaiting work
-		dead     = make(map[int]bool)
-		inflight int // admitted minus completed
-		eof      bool
-		released bool // empty chunks sent: workers are shutting down
-		live     = len(workers)
-		lastDone time.Duration
-		recent   = make(map[int]*stats.Window, len(workers))
-	)
-
-	applyUpdate := func(u StreamUpdate, breach bool) {
-		if u.Weights != nil {
-			weights = u.Weights
-		}
-		if opts.Detector != nil {
-			if u.Z > 0 {
-				opts.Detector.Z = u.Z
-			}
-			if breach || u.ResetDetector {
-				opts.Detector.Reset()
-			}
-		}
-		rep.Recalibrations++
-		if opts.Log != nil {
-			opts.Log.Append(trace.Event{
-				At: c.Now(), Kind: trace.KindRecalibrate,
-				Msg: fmt.Sprintf("stream recalibration %d (breach=%v)", rep.Recalibrations, breach),
-			})
-		}
-	}
-
-	recentMeans := func() map[int]time.Duration {
-		means := make(map[int]time.Duration, len(recent))
-		for w, win := range recent {
-			if win.Len() > 0 {
-				means[w] = time.Duration(win.Mean() * float64(time.Second))
-			}
-		}
-		return means
-	}
-
-	// defaultRecal re-weights the chosen workers by inverse recent mean time
-	// — calibration from live observations, the streaming stand-in for
-	// re-running Algorithm 1's probes.
-	defaultRecal := func(means map[int]time.Duration) StreamUpdate {
-		inv := make(map[int]float64, len(workers))
-		var sum float64
-		var n int
-		for _, w := range workers {
-			if m, ok := means[w]; ok && m > 0 && !dead[w] {
-				inv[w] = 1 / m.Seconds()
-				sum += inv[w]
-				n++
-			}
-		}
-		if n == 0 {
-			return StreamUpdate{}
-		}
-		// Workers without recent completions get the mean observed speed so
-		// they are neither starved nor favoured until they report in.
-		neutral := sum / float64(n)
-		for _, w := range workers {
-			if _, ok := inv[w]; !ok && !dead[w] {
-				inv[w] = neutral
-				sum += neutral
-			}
-		}
-		for w := range inv {
-			inv[w] /= sum
-		}
-		return StreamUpdate{Weights: inv}
-	}
-
-	// serve hands the front parked worker a chunk of pending tasks.
-	serve := func() {
-		for len(parked) > 0 && len(pending) > 0 {
-			p := parked[0]
-			parked = parked[0:copy(parked, parked[1:])]
-			if dead[p.worker] {
+			released = true
+			for _, p := range parked {
 				p.reply.Send(c, []platform.Task{})
-				continue
 			}
-			n := policy.Chunk(len(pending), len(workers), weight(p.worker))
-			if wc, isWC := policy.(sched.WorkerChunker); isWC {
-				n = wc.ChunkFor(p.worker, len(pending), len(workers), weight(p.worker))
-			}
-			if n > len(pending) {
-				n = len(pending)
-			}
-			if n < 1 {
-				n = 1
-			}
-			chunk := append([]platform.Task(nil), pending[:n]...)
-			pending = pending[0:copy(pending, pending[n:])]
-			if opts.Log != nil {
-				for _, task := range chunk {
-					opts.Log.Append(trace.Event{
-						At: c.Now(), Kind: trace.KindDispatch,
-						Node: pf.WorkerName(p.worker), Task: task.ID,
-					})
-				}
-			}
-			p.reply.Send(c, chunk)
+			parked = parked[:0]
 		}
-	}
 
-	// release shuts the workers down once the stream is fully drained.
-	release := func() {
-		if released || !eof || len(pending) > 0 || inflight > 0 {
-			return
-		}
-		released = true
-		for _, p := range parked {
-			p.reply.Send(c, []platform.Task{})
-		}
-		parked = parked[:0]
-	}
-
-	for live > 0 {
-		if opts.Control != nil {
-			for {
-				v, ok, polled := opts.Control.TryRecv(c)
-				if !polled || !ok {
-					break
-				}
-				if u, isUpdate := v.(StreamUpdate); isUpdate {
-					applyUpdate(u, false)
-				}
+		for live > 0 {
+			co.DrainControl(c, opts.Control)
+			v, ok := inbox.Recv(c)
+			if !ok {
+				break
 			}
-		}
-		v, ok := inbox.Recv(c)
-		if !ok {
-			break
-		}
-		m := v.(message)
-		switch m.kind {
-		case msgTask:
-			rep.Admitted++
-			inflight++
-			if inflight > rep.MaxInFlight {
-				rep.MaxInFlight = inflight
-			}
-			pending = append(pending, m.task)
-			serve()
-		case msgEOF:
-			eof = true
-			release()
-		case msgRequest:
-			rep.Requests++
-			if released || dead[m.worker] {
-				m.reply.Send(c, []platform.Task{})
-				continue
-			}
-			parked = append(parked, parkedReq{worker: m.worker, reply: m.reply})
-			serve()
-			release()
-		case msgResult:
-			res := m.result
-			if res.Failed() {
-				rep.Failures++
-				pending = append(pending, res.Task)
-				if !dead[res.Worker] {
-					dead[res.Worker] = true
-					rep.DeadWorkers = append(rep.DeadWorkers, res.Worker)
-					if opts.Log != nil {
-						opts.Log.Append(trace.Event{
-							At: c.Now(), Kind: trace.KindNote,
-							Node: pf.WorkerName(res.Worker),
-							Msg:  fmt.Sprintf("worker %s failed; task %d re-queued", pf.WorkerName(res.Worker), res.Task.ID),
-						})
-					}
+			m := v.(message)
+			switch m.kind {
+			case msgTask:
+				co.Rep.Admitted++
+				inflight++
+				if inflight > co.Rep.MaxInFlight {
+					co.Rep.MaxInFlight = inflight
 				}
+				pending = append(pending, m.task)
 				serve()
-				continue
-			}
-			rep.Results = append(rep.Results, res)
-			rep.BusyByWorker[res.Worker] += res.Time
-			rep.TasksByWorker[res.Worker]++
-			inflight--
-			lastDone = c.Now()
-			credits.Send(c, streamToken{})
-			norm := normalise(res, opts.NormCost)
-			win := recent[res.Worker]
-			if win == nil {
-				win = stats.NewWindow(recalWindow)
-				recent[res.Worker] = win
-			}
-			win.Push(norm.Seconds())
-			if obs, isObs := policy.(sched.TimeObserver); isObs {
-				obs.ObserveTime(res.Worker, res.Time)
-			}
-			if opts.Log != nil {
-				opts.Log.Append(trace.Event{
-					At: c.Now(), Kind: trace.KindComplete,
-					Node: pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
-				})
-			}
-			if opts.OnResult != nil {
-				opts.OnResult(res)
-			}
-			if opts.Detector != nil {
-				opts.Detector.Observe(norm)
-				if breached, stat := opts.Detector.Breached(); breached {
-					rep.Breaches++
-					rep.Breached = true
-					rep.BreachStat = stat
-					if opts.Log != nil {
-						opts.Log.Append(trace.Event{
-							At: c.Now(), Kind: trace.KindThreshold,
-							Value: opts.Detector.Ratio(),
-							Msg:   fmt.Sprintf("stream breach: %s stat %v", opts.Detector.Rule, stat),
-						})
-					}
-					info := BreachInfo{Stat: stat, At: c.Now(), RecentMean: recentMeans()}
-					applied := false
-					if opts.OnRecalibrate != nil {
-						if u, useIt := opts.OnRecalibrate(info); useIt {
-							applyUpdate(u, true)
-							applied = true
-						}
-					}
-					if !applied {
-						applyUpdate(defaultRecal(info.RecentMean), true)
-					}
+			case msgEOF:
+				eof = true
+				release()
+			case msgRequest:
+				co.Rep.Requests++
+				if released || !co.Alive(m.worker) {
+					m.reply.Send(c, []platform.Task{})
+					continue
 				}
+				parked = append(parked, parkedReq{worker: m.worker, reply: m.reply})
+				serve()
+				release()
+			case msgResult:
+				res := m.result
+				if res.Failed() {
+					// The worker crashed mid-task: re-queue the task and stop
+					// feeding that worker.
+					co.Fail(c, res, "re-queued")
+					pending = append(pending, res.Task)
+					serve()
+					continue
+				}
+				inflight--
+				intake.Release(c)
+				if obs, isObs := policy.(sched.TimeObserver); isObs {
+					obs.ObserveTime(res.Worker, res.Time)
+				}
+				co.Complete(c, res)
+				release()
+			case msgDone:
+				live--
 			}
-			release()
-		case msgDone:
-			live--
 		}
-	}
-	// If every worker died mid-stream the pump may still hold or await a
-	// credit; closing the credit channel stops it. Tasks the pump had
-	// already forwarded when the farmer stopped are recovered from the
-	// inbox so they surface as Remaining rather than vanishing; tasks
-	// still buffered in `in` (or in a blocked producer's hand) stay on
-	// the producer's side and are detectable by comparing Admitted with
-	// what was sent.
-	credits.Close(c)
-	for {
-		v, ok, polled := inbox.TryRecv(c)
-		if !polled || !ok {
-			break
+		// If every worker died mid-stream the pump may still hold or await a
+		// credit; closing the credit channel stops it. Tasks the pump had
+		// already forwarded when the farmer stopped are recovered from the
+		// inbox so they surface as Remaining rather than vanishing; tasks
+		// still buffered in `in` (or in a blocked producer's hand) stay on
+		// the producer's side and are detectable by comparing Admitted with
+		// what was sent.
+		intake.Close(c)
+		for {
+			v, ok, polled := inbox.TryRecv(c)
+			if !polled || !ok {
+				break
+			}
+			if m, isMsg := v.(message); isMsg && m.kind == msgTask {
+				pending = append(pending, m.task)
+			}
 		}
-		if m, isMsg := v.(message); isMsg && m.kind == msgTask {
-			pending = append(pending, m.task)
-		}
+		co.Rep.Remaining = append([]platform.Task(nil), pending...)
+		return co.Finish()
 	}
-	rep.Remaining = append([]platform.Task(nil), pending...)
-	if len(rep.Results) > 0 {
-		rep.Makespan = lastDone - start
+}
+
+// RunStream executes a long-lived demand-driven farm from within process c:
+// tasks are read from in (values must be platform.Task) until it is closed,
+// admission is limited to the engine's bounded in-flight window, and
+// detector breaches re-calibrate the farm in place — the stream analogue of
+// Algorithm 2's feedback, computed from live execution times instead of
+// fresh probes. RunStream returns once the input is closed and every
+// admitted task has completed. It is a thin farm-shaped wrapper over
+// Stream, kept for callers that think in farm types.
+func RunStream(pf platform.Platform, c rt.Ctx, in rt.Chan, opts StreamOptions) StreamReport {
+	erep := Stream(opts.Chunk)(pf, c, in, engine.StreamOptions{
+		Workers:       opts.Workers,
+		Weights:       opts.Weights,
+		Detector:      opts.Detector,
+		NormCost:      opts.NormCost,
+		Window:        opts.Window,
+		RecalWindow:   opts.RecalWindow,
+		Log:           opts.Log,
+		OnResult:      opts.OnResult,
+		OnRecalibrate: opts.OnRecalibrate,
+		Control:       opts.Control,
+	})
+	return StreamReport{
+		Report:         reportFromEngine(erep),
+		Admitted:       erep.Admitted,
+		MaxInFlight:    erep.MaxInFlight,
+		Recalibrations: erep.Recalibrations,
+		Breaches:       erep.Breaches,
 	}
-	return rep
+}
+
+// reportFromEngine projects the engine's skeleton-agnostic report onto the
+// farm's report type.
+func reportFromEngine(erep engine.StreamReport) Report {
+	return Report{
+		Results:       erep.Results,
+		Remaining:     erep.Remaining,
+		Breached:      erep.Breached,
+		BreachStat:    erep.BreachStat,
+		Makespan:      erep.Makespan,
+		BusyByWorker:  erep.BusyByWorker,
+		TasksByWorker: erep.TasksByWorker,
+		Requests:      erep.Requests,
+		Failures:      erep.Failures,
+		DeadWorkers:   erep.DeadWorkers,
+	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"grasp/internal/platform"
 	"grasp/internal/rt"
+	"grasp/internal/skel/engine"
 	"grasp/internal/trace"
 )
 
@@ -255,6 +256,9 @@ type Report struct {
 	// Failures counts steps whose transfer or combine hit a dead node; the
 	// reduction routes the partial straight to the root instead (see Run).
 	Failures int
+	// DeadWorkers lists workers whose steps hit node failures, in
+	// detection order (the engine's shared retire bookkeeping).
+	DeadWorkers []int
 }
 
 // Run executes the plan from within process c and blocks until the final
@@ -277,6 +281,7 @@ func Run(pf platform.Platform, c rt.Ctx, values map[int]any, op Op, plan Plan, l
 	for w, v := range values {
 		vals[w] = v
 	}
+	var faults engine.Faults
 
 	type stepOut struct {
 		step Step
@@ -315,7 +320,8 @@ func Run(pf platform.Platform, c rt.Ctx, values map[int]any, op Op, plan Plan, l
 			}
 			so := v.(stepOut)
 			if so.res.Failed() {
-				rep.Failures++
+				faults.Failures++
+				faults.Retire(so.res.Worker)
 				if log != nil {
 					log.Append(trace.Event{
 						At: c.Now(), Kind: trace.KindNote,
@@ -345,8 +351,11 @@ func Run(pf platform.Platform, c rt.Ctx, values map[int]any, op Op, plan Plan, l
 	// Gather the result from the root to the master.
 	final := pf.Exec(c, plan.Root, platform.Task{ID: plan.Root, OutBytes: op.Bytes})
 	if final.Failed() {
-		rep.Failures++
+		faults.Failures++
+		faults.Retire(plan.Root)
 	}
+	rep.Failures = faults.Failures
+	rep.DeadWorkers = faults.Dead
 	if op.Fn != nil {
 		rep.Value = vals[plan.Root]
 	}
