@@ -1,0 +1,355 @@
+// End-to-end smoke for the distributed worker-node subsystem across real
+// process boundaries: one graspd daemon and two graspworker processes,
+// jobs declared with `placement: cluster`, and a worker killed mid-stream
+// to prove Faults-based reassignment redelivers its work exactly once.
+package grasp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goTool locates the go binary (same lookup as the mains build check).
+func goTool(t *testing.T) string {
+	t.Helper()
+	goBin := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goBin); err != nil {
+		var lookErr error
+		goBin, lookErr = exec.LookPath("go")
+		if lookErr != nil {
+			t.Skip("go toolchain not available")
+		}
+	}
+	return goBin
+}
+
+// freePort reserves an ephemeral localhost port and returns it.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+// syncBuffer guards process output: exec's pipe copier writes it from its
+// own goroutine while the test may read it for a failure report.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// e2eProc is one spawned binary with captured output for failure reports.
+type e2eProc struct {
+	cmd *exec.Cmd
+	out syncBuffer
+}
+
+func startProc(t *testing.T, name string, args ...string) *e2eProc {
+	t.Helper()
+	p := &e2eProc{cmd: exec.Command(name, args...)}
+	p.cmd.Stdout = &p.out
+	p.cmd.Stderr = &p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+// httpJSON drives the daemon API, failing the test on transport errors.
+func httpJSON(t *testing.T, method, url string, body any, out any) (int, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// waitFor polls cond until it reports true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+type e2eNode struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	InFlight  int    `json:"in_flight"`
+	Completed int64  `json:"completed"`
+}
+
+type e2eStatus struct {
+	State     string `json:"state"`
+	Completed int    `json:"completed"`
+	Failures  int    `json:"failures"`
+	Placement string `json:"placement"`
+	Nodes     []struct {
+		Node       string `json:"node"`
+		Dispatched int64  `json:"dispatched"`
+		Completed  int64  `json:"completed"`
+		Failed     int64  `json:"failed"`
+	} `json:"nodes"`
+}
+
+// pollNodes fetches the daemon's node listing.
+func pollNodes(t *testing.T, api string) []e2eNode {
+	t.Helper()
+	var reply struct {
+		Nodes []e2eNode `json:"nodes"`
+	}
+	if _, err := httpJSON(t, "GET", api+"/api/v1/nodes", nil, &reply); err != nil {
+		return nil
+	}
+	return reply.Nodes
+}
+
+// drainJob closes the job and polls its results until done, returning the
+// per-task completion counts.
+func drainJob(t *testing.T, api, name string, deadline time.Duration) map[int]int {
+	t.Helper()
+	if code, _ := httpJSON(t, "POST", api+"/api/v1/jobs/"+name+"/close", nil, nil); code != http.StatusOK {
+		t.Fatalf("close %s: HTTP %d", name, code)
+	}
+	seen := make(map[int]int)
+	cursor := 0
+	waitFor(t, deadline, name+" to drain", func() bool {
+		var poll struct {
+			Results []struct {
+				ID   int    `json:"id"`
+				Node string `json:"node"`
+			} `json:"results"`
+			Next  int    `json:"next"`
+			State string `json:"state"`
+		}
+		if _, err := httpJSON(t, "GET", fmt.Sprintf("%s/api/v1/jobs/%s/results?after=%d", api, name, cursor), nil, &poll); err != nil {
+			return false
+		}
+		for _, r := range poll.Results {
+			seen[r.ID]++
+			if r.Node == "" {
+				t.Errorf("%s: result %d missing node attribution", name, r.ID)
+			}
+		}
+		cursor = poll.Next
+		return poll.State == "done"
+	})
+	return seen
+}
+
+func pushTasks(t *testing.T, api, name string, from, n int, sleepUS int64) {
+	t.Helper()
+	tasks := make([]map[string]any, n)
+	for i := range tasks {
+		tasks[i] = map[string]any{"id": from + i, "sleep_us": sleepUS}
+	}
+	code, err := httpJSON(t, "POST", api+"/api/v1/jobs/"+name+"/tasks", map[string]any{"tasks": tasks}, nil)
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("push %s: HTTP %d err %v", name, code, err)
+	}
+}
+
+func TestClusterE2EMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode (CI runs it in its own job)")
+	}
+	goBin := goTool(t)
+	bin := t.TempDir()
+	graspd := filepath.Join(bin, "graspd")
+	graspworker := filepath.Join(bin, "graspworker")
+	for target, dir := range map[string]string{graspd: "./cmd/graspd", graspworker: "./cmd/graspworker"} {
+		cmd := exec.Command(goBin, "build", "-o", target, dir)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", dir, err, out)
+		}
+	}
+
+	apiPort, clusterPort := freePort(t), freePort(t)
+	api := fmt.Sprintf("http://127.0.0.1:%d", apiPort)
+	daemon := startProc(t, graspd,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", apiPort),
+		"-cluster-listen", fmt.Sprintf("127.0.0.1:%d", clusterPort),
+		"-dead-after", "700ms",
+		"-workers", "2", "-warmup", "4")
+	defer func() {
+		if t.Failed() {
+			t.Logf("graspd output:\n%s", daemon.out.String())
+		}
+	}()
+	waitFor(t, 10*time.Second, "daemon health", func() bool {
+		code, err := httpJSON(t, "GET", api+"/healthz", nil, nil)
+		return err == nil && code == http.StatusOK
+	})
+
+	coordinator := fmt.Sprintf("http://127.0.0.1:%d", clusterPort)
+	worker := func(id string) *e2eProc {
+		return startProc(t, graspworker,
+			"-coordinator", coordinator, "-id", id,
+			"-capacity", "2", "-heartbeat", "100ms",
+			"-bench-spin", "100000", "-lease-wait", "200ms")
+	}
+	worker("e2e-w1")
+	w2 := worker("e2e-w2")
+	waitFor(t, 15*time.Second, "both workers live", func() bool {
+		live := 0
+		for _, n := range pollNodes(t, api) {
+			if n.State == "live" {
+				live++
+			}
+		}
+		return live == 2
+	})
+
+	// A pipeline job through the cluster: four stages over the four
+	// execution slots (2 workers × capacity 2) map one stage onto every
+	// slot, so completion proves the job spanned both processes. (Two
+	// stages could legitimately land on one node's two slots.)
+	code, err := httpJSON(t, "POST", api+"/api/v1/jobs", map[string]any{
+		"name": "pipe", "skeleton": "pipeline", "placement": "cluster",
+		"stages": []map[string]any{
+			{"name": "a"}, {"name": "b", "cost_factor": 2}, {"name": "c"}, {"name": "d"},
+		},
+	}, nil)
+	if err != nil || code != http.StatusCreated {
+		t.Fatalf("create pipe: HTTP %d err %v", code, err)
+	}
+	pushTasks(t, api, "pipe", 0, 20, 500)
+	pipeSeen := drainJob(t, api, "pipe", 30*time.Second)
+	assertExactlyOnce(t, "pipe", pipeSeen, 20)
+	var pipeStatus e2eStatus
+	httpJSON(t, "GET", api+"/api/v1/jobs/pipe", nil, &pipeStatus)
+	for _, nc := range pipeStatus.Nodes {
+		if nc.Completed == 0 {
+			t.Errorf("pipe: node %s executed nothing; job did not span both processes", nc.Node)
+		}
+	}
+
+	// The farm job that survives a worker kill: stream slow tasks, wait for
+	// the victim to be mid-execution with completions on its tally, then
+	// SIGKILL it. Missed heartbeats must retire the node and redeliver its
+	// in-flight work to the survivor with no loss and no duplicates.
+	code, err = httpJSON(t, "POST", api+"/api/v1/jobs", map[string]any{
+		"name": "farm", "placement": "cluster",
+	}, nil)
+	if err != nil || code != http.StatusCreated {
+		t.Fatalf("create farm: HTTP %d err %v", code, err)
+	}
+	pushTasks(t, api, "farm", 0, 40, 10_000)
+	waitFor(t, 20*time.Second, "victim mid-execution", func() bool {
+		var st e2eStatus
+		httpJSON(t, "GET", api+"/api/v1/jobs/farm", nil, &st)
+		for _, nc := range st.Nodes {
+			if nc.Node == "e2e-w2" && nc.Completed >= 2 && nc.Dispatched > nc.Completed+nc.Failed {
+				return true
+			}
+		}
+		return false
+	})
+	if err := w2.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	pushTasks(t, api, "farm", 40, 10, 10_000)
+	farmSeen := drainJob(t, api, "farm", 60*time.Second)
+	assertExactlyOnce(t, "farm", farmSeen, 50)
+
+	var farmStatus e2eStatus
+	httpJSON(t, "GET", api+"/api/v1/jobs/farm", nil, &farmStatus)
+	if farmStatus.Failures == 0 {
+		t.Error("farm: expected failed executions from the killed worker")
+	}
+	var victim, survivor bool
+	for _, nc := range farmStatus.Nodes {
+		switch nc.Node {
+		case "e2e-w2":
+			victim = nc.Completed >= 2 && nc.Failed > 0
+		case "e2e-w1":
+			survivor = nc.Completed > 0
+		}
+	}
+	if !victim || !survivor {
+		t.Errorf("farm per-node status = %+v: want the victim's completions+failures and the survivor's completions", farmStatus.Nodes)
+	}
+
+	// The coordinator's view agrees: exactly one live node remains.
+	waitFor(t, 5*time.Second, "dead node listed", func() bool {
+		live, dead := 0, 0
+		for _, n := range pollNodes(t, api) {
+			switch n.State {
+			case "live":
+				live++
+			case "dead":
+				dead++
+			}
+		}
+		return live == 1 && dead == 1
+	})
+}
+
+// assertExactlyOnce checks every task id in [0, n) completed exactly once.
+func assertExactlyOnce(t *testing.T, job string, seen map[int]int, n int) {
+	t.Helper()
+	if len(seen) != n {
+		t.Errorf("%s: %d distinct results, want %d", job, len(seen), n)
+	}
+	for id := 0; id < n; id++ {
+		if seen[id] != 1 {
+			t.Errorf("%s: task %d completed %d times, want exactly once", job, id, seen[id])
+		}
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"time"
 
+	"grasp/internal/cluster"
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
@@ -21,9 +23,13 @@ import (
 	"grasp/internal/skel/engine"
 )
 
-// BenchResult is one skeleton's streaming benchmark record.
+// BenchResult is one skeleton's streaming benchmark record. NodeCount is
+// the distribution dimension: 1 for local (in-process) execution, >1 when
+// the bench streamed through that many cluster worker nodes — keeping
+// BENCH_RESULTS.json comparable across PRs as placements multiply.
 type BenchResult struct {
 	Skeleton       string  `json:"skeleton"`
+	NodeCount      int     `json:"node_count"`
 	Tasks          int     `json:"tasks"`
 	Workers        int     `json:"workers"`
 	Window         int     `json:"window"`
@@ -103,6 +109,7 @@ func benchSkeleton(name string, tasks []platform.Task) (BenchResult, error) {
 	elapsed := time.Since(start)
 	out := BenchResult{
 		Skeleton:       name,
+		NodeCount:      1,
 		Tasks:          len(rep.Results),
 		Workers:        workers,
 		Window:         window,
@@ -122,9 +129,102 @@ func benchSkeleton(name string, tasks []platform.Task) (BenchResult, error) {
 	return out, nil
 }
 
-// runSkelBench benches every skeleton and writes the JSON record to path.
+// benchClusterFarm streams the same workload shape through the farm
+// skeleton over two in-process cluster worker nodes speaking the real HTTP
+// protocol — the node_count=2 row that tracks the distributed path's
+// overhead next to the local rows.
+func benchClusterFarm(seed int64) (BenchResult, error) {
+	const (
+		nodes  = 2
+		window = 8
+	)
+	coord := cluster.NewCoordinator(cluster.Config{DeadAfter: 2 * time.Second})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	for i := 0; i < nodes; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: srv.URL,
+			ID:          fmt.Sprintf("bench-n%d", i),
+			Capacity:    2,
+			BenchSpin:   100_000,
+			LeaseWait:   200 * time.Millisecond,
+		})
+		if err != nil {
+			return BenchResult{}, err
+		}
+		defer w.Stop()
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	const nFast, nSlow = 150, 50
+	l := rt.NewLocal()
+	pool := cluster.NewPool(coord, l, coord.Live())
+	in := l.NewChan("bench.cluster.in", 1)
+	l.Go("bench.cluster.producer", func(c rt.Ctx) {
+		for i := 0; i < nFast+nSlow; i++ {
+			d := 100 * time.Microsecond
+			if i >= nFast {
+				d = 2 * time.Millisecond
+			}
+			d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+			in.Send(c, platform.Task{ID: i, Cost: 1, Data: cluster.Work{SleepUS: d.Microseconds()}})
+		}
+		in.Close(c)
+	})
+	runner, err := adapt.New(adapt.Spec{Skeleton: adapt.Farm})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	var rep engine.StreamReport
+	start := time.Now()
+	l.Go("bench.cluster.root", func(c rt.Ctx) {
+		rep = runner(pool, c, in, engine.StreamOptions{
+			Window: window,
+			Detector: &monitor.Detector{
+				Z: 5 * time.Millisecond, Rule: monitor.RuleMinOver,
+				Window: 3, MinSamples: 3,
+			},
+		})
+	})
+	if err := l.Run(); err != nil {
+		return BenchResult{}, err
+	}
+	elapsed := time.Since(start)
+	out := BenchResult{
+		Skeleton:       adapt.Farm,
+		NodeCount:      nodes,
+		Tasks:          len(rep.Results),
+		Workers:        pool.Size(), // execution slots: nodes × capacity
+		Window:         window,
+		ElapsedUS:      elapsed.Microseconds(),
+		MakespanUS:     rep.Makespan.Microseconds(),
+		Breaches:       rep.Breaches,
+		Recalibrations: rep.Recalibrations,
+		MaxInFlight:    rep.MaxInFlight,
+		Failures:       rep.Failures,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		out.ThroughputTPS = float64(len(rep.Results)) / secs
+	}
+	if len(rep.Results) != nFast+nSlow {
+		return out, fmt.Errorf("cluster bench completed %d of %d tasks", len(rep.Results), nFast+nSlow)
+	}
+	return out, nil
+}
+
+// runSkelBench benches every skeleton (plus the distributed farm) and
+// writes the JSON record to path.
 func runSkelBench(path string, seed int64, quiet bool) error {
 	file := BenchFile{GeneratedUnix: time.Now().Unix(), Seed: seed}
+	report := func(res BenchResult) {
+		if quiet {
+			return
+		}
+		fmt.Printf("bench %-9s nodes=%d %4d tasks  %8.0f tasks/s  makespan %s  breaches=%d recals=%d\n",
+			res.Skeleton, res.NodeCount, res.Tasks, res.ThroughputTPS,
+			time.Duration(res.MakespanUS)*time.Microsecond, res.Breaches, res.Recalibrations)
+	}
 	for _, name := range adapt.Names() {
 		tasks := benchWorkload(150, 50, 100*time.Microsecond, 2*time.Millisecond, seed)
 		res, err := benchSkeleton(name, tasks)
@@ -132,12 +232,14 @@ func runSkelBench(path string, seed int64, quiet bool) error {
 			return err
 		}
 		file.Results = append(file.Results, res)
-		if !quiet {
-			fmt.Printf("bench %-9s %4d tasks  %8.0f tasks/s  makespan %s  breaches=%d recals=%d\n",
-				name, res.Tasks, res.ThroughputTPS,
-				time.Duration(res.MakespanUS)*time.Microsecond, res.Breaches, res.Recalibrations)
-		}
+		report(res)
 	}
+	res, err := benchClusterFarm(seed)
+	if err != nil {
+		return err
+	}
+	file.Results = append(file.Results, res)
+	report(res)
 	raw, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err

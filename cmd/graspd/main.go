@@ -12,11 +12,18 @@
 //
 //	graspd -addr :8080 -workers 8 -window 16
 //
+// Serve with the distributed worker-node subsystem enabled (graspworker
+// processes register on the cluster listener; jobs created with
+// `"placement": "cluster"` execute on them):
+//
+//	graspd -addr :8080 -cluster-listen :8090
+//
 // Hammer a running daemon with mixed-skeleton traffic:
 //
 //	graspd -drive http://localhost:8080 -jobs 6 -tasks 500 -skeletons farm,pipeline,dmap
 //
-// See the README for the full JSON API and a curl walkthrough.
+// See the README for the full JSON API, the cluster quickstart, and a curl
+// walkthrough.
 package main
 
 import (
@@ -28,38 +35,38 @@ import (
 	"strings"
 	"time"
 
+	"grasp/internal/cluster"
 	"grasp/internal/loadgen"
 	"grasp/internal/service"
 )
 
 // newDaemon wires the service and its handler stack; tests drive exactly
 // this function through httptest.
-func newDaemon(workers, window, warmup int, factor float64) (http.Handler, *service.Service) {
-	s := service.New(service.Config{
-		Workers:         workers,
-		DefaultWindow:   window,
-		WarmupTasks:     warmup,
-		ThresholdFactor: factor,
-	})
+func newDaemon(cfg service.Config) (http.Handler, *service.Service) {
+	s := service.New(cfg)
 	return service.NewHandler(s), s
 }
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "platform worker slots (0 = GOMAXPROCS)")
-		window    = flag.Int("window", 0, "default per-job in-flight window (0 = 2×workers)")
-		warmup    = flag.Int("warmup", 0, "completions before a job's threshold is set (0 = 2×workers)")
-		factor    = flag.Float64("threshold", 4, "Z = factor × warm-up mean task time")
-		drive     = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
-		jobs      = flag.Int("jobs", 3, "drive: concurrent jobs")
-		tasks     = flag.Int("tasks", 200, "drive: tasks per job")
-		batch     = flag.Int("batch", 20, "drive: tasks per POST")
-		sleepUS   = flag.Int64("sleep-us", 500, "drive: mean simulated task duration (µs)")
-		seed      = flag.Int64("seed", 1, "drive: jitter seed")
-		skeletons = flag.String("skeletons", "farm", "drive: comma-separated skeletons cycled across jobs (farm,pipeline,dmap)")
-		stages    = flag.Int("stages", 3, "drive: stage count for pipeline jobs")
-		waveSize  = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "platform worker slots (0 = GOMAXPROCS)")
+		window        = flag.Int("window", 0, "default per-job in-flight window (0 = 2×workers)")
+		warmup        = flag.Int("warmup", 0, "completions before a job's threshold is set (0 = 2×workers)")
+		factor        = flag.Float64("threshold", 4, "Z = factor × warm-up mean task time")
+		maxResults    = flag.Int("max-results", 0, "default per-job result-retention bound (0 = 100000)")
+		clusterListen = flag.String("cluster-listen", "", "serve the worker-node protocol on this address (empty = cluster disabled)")
+		deadAfter     = flag.Duration("dead-after", 3*time.Second, "cluster: declare a silent worker node dead after this long")
+		drive         = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
+		jobs          = flag.Int("jobs", 3, "drive: concurrent jobs")
+		tasks         = flag.Int("tasks", 200, "drive: tasks per job")
+		batch         = flag.Int("batch", 20, "drive: tasks per POST")
+		sleepUS       = flag.Int64("sleep-us", 500, "drive: mean simulated task duration (µs)")
+		seed          = flag.Int64("seed", 1, "drive: jitter seed")
+		skeletons     = flag.String("skeletons", "farm", "drive: comma-separated skeletons cycled across jobs (farm,pipeline,dmap)")
+		stages        = flag.Int("stages", 3, "drive: stage count for pipeline jobs")
+		waveSize      = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
+		placement     = flag.String("placement", "", "drive: job placement (local, cluster)")
 	)
 	flag.Parse()
 
@@ -75,6 +82,7 @@ func main() {
 			Skeletons:      strings.Split(*skeletons, ","),
 			PipelineStages: *stages,
 			WaveSize:       *waveSize,
+			Placement:      *placement,
 		}.Run()
 		fmt.Printf("drove %d jobs, %d/%d tasks completed in %v\n",
 			len(summary.Jobs), summary.Completed, summary.Tasks, summary.Elapsed.Round(time.Millisecond))
@@ -91,7 +99,27 @@ func main() {
 		return
 	}
 
-	h, s := newDaemon(*workers, *window, *warmup, *factor)
+	cfg := service.Config{
+		Workers:         *workers,
+		DefaultWindow:   *window,
+		WarmupTasks:     *warmup,
+		ThresholdFactor: *factor,
+		MaxResults:      *maxResults,
+	}
+	if *clusterListen != "" {
+		coord := cluster.NewCoordinator(cluster.Config{
+			DeadAfter: *deadAfter,
+			Logf:      log.Printf,
+		})
+		cfg.Cluster = coord
+		go func() {
+			log.Printf("graspd cluster coordinator on %s (dead-after %v)", *clusterListen, *deadAfter)
+			if err := http.ListenAndServe(*clusterListen, coord.Handler()); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	h, s := newDaemon(cfg)
 	log.Printf("graspd serving on %s (%d workers)", *addr, s.Workers())
 	if err := http.ListenAndServe(*addr, h); err != nil {
 		log.Fatal(err)

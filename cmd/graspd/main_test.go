@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"grasp/internal/cluster"
 	"grasp/internal/loadgen"
+	"grasp/internal/service"
 )
 
 // TestDaemonEndToEnd drives the daemon's real handler stack with the
@@ -18,7 +20,7 @@ import (
 // slow tail traffic to force a mid-stream breach, and an exactly-once
 // check on every result.
 func TestDaemonEndToEnd(t *testing.T) {
-	h, s := newDaemon(4, 6, 4, 3)
+	h, s := newDaemon(service.Config{Workers: 4, DefaultWindow: 6, WarmupTasks: 4, ThresholdFactor: 3})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -77,7 +79,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 // tail directly through the HTTP API and verifies the detector breached
 // and recalibrated mid-stream without losing tasks.
 func TestDaemonBreachUnderSlowdown(t *testing.T) {
-	h, _ := newDaemon(3, 5, 3, 3)
+	h, _ := newDaemon(service.Config{Workers: 3, DefaultWindow: 5, WarmupTasks: 3, ThresholdFactor: 3})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -156,7 +158,7 @@ func writeTask(b *strings.Builder, id int, sleepUS int) {
 // all three skeleton types: the same cursor endpoints serve every
 // topology, exactly once, under one shared calibration.
 func TestDaemonMixedSkeletonTraffic(t *testing.T) {
-	h, _ := newDaemon(4, 6, 4, 3)
+	h, _ := newDaemon(service.Config{Workers: 4, DefaultWindow: 6, WarmupTasks: 4, ThresholdFactor: 3})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -232,7 +234,7 @@ func TestDaemonBreachEverySkeleton(t *testing.T) {
 		sk, createTmpl := sk, createTmpl
 		t.Run(sk, func(t *testing.T) {
 			t.Parallel()
-			h, _ := newDaemon(3, 5, 3, 3)
+			h, _ := newDaemon(service.Config{Workers: 3, DefaultWindow: 5, WarmupTasks: 3, ThresholdFactor: 3})
 			srv := httptest.NewServer(h)
 			defer srv.Close()
 
@@ -332,5 +334,84 @@ func TestDaemonBreachEverySkeleton(t *testing.T) {
 				t.Errorf("max_in_flight = %d exceeds window 5", st.MaxInFlight)
 			}
 		})
+	}
+}
+
+// TestDriveClusterScenario points the loadgen driver at a daemon whose
+// jobs are placed on the cluster: every skeleton streams through two
+// in-process worker nodes speaking the real HTTP protocol, and the
+// exactly-once check holds across the process-shaped substrate.
+func TestDriveClusterScenario(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.Config{
+		DeadAfter:    time.Second,
+		MaxLeaseWait: 200 * time.Millisecond,
+	})
+	defer coord.Close()
+	csrv := httptest.NewServer(coord.Handler())
+	defer csrv.Close()
+	for i := 0; i < 2; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: csrv.URL,
+			ID:          fmt.Sprintf("drive-n%d", i),
+			Capacity:    2,
+			BenchSpin:   10_000,
+			Heartbeat:   100 * time.Millisecond,
+			LeaseWait:   100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+	}
+
+	h, _ := newDaemon(service.Config{Workers: 2, WarmupTasks: 4, Cluster: coord})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	summary := loadgen.Driver{
+		BaseURL:     srv.URL,
+		Jobs:        3,
+		TasksPerJob: 30,
+		Batch:       10,
+		SleepUS:     300,
+		PollEvery:   2 * time.Millisecond,
+		Timeout:     60 * time.Second,
+		Seed:        7,
+		Placement:   "cluster",
+		Skeletons:   []string{"farm", "pipeline", "dmap"},
+	}.Run()
+	if !summary.OK() {
+		t.Fatalf("cluster drive failed: %+v", summary)
+	}
+	if summary.Completed != 90 {
+		t.Fatalf("completed %d of 90", summary.Completed)
+	}
+
+	// Every job's tasks really executed on the worker nodes.
+	resp, err := http.Get(srv.URL + "/api/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var nodes struct {
+		Nodes []struct {
+			ID        string `json:"id"`
+			Completed int64  `json:"completed"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range nodes.Nodes {
+		if n.Completed == 0 {
+			t.Errorf("node %s executed nothing", n.ID)
+		}
+		total += n.Completed
+	}
+	// Pipelines execute each task once per stage, so the node-side total is
+	// at least the 90 task completions.
+	if total < 90 {
+		t.Errorf("node-side executions = %d, want >= 90", total)
 	}
 }

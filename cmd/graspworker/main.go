@@ -1,0 +1,57 @@
+// Command graspworker is a GRASP cluster worker node: it benchmarks
+// itself, registers with a graspd coordinator, and executes leased
+// skeleton tasks until stopped. Run one per machine (or several per
+// machine to taste); each process appears to the adaptive engine as one
+// grid worker whose speed was calibrated at registration and whose
+// round-trip times feed every job's detector.
+//
+//	graspworker -coordinator http://head:8090 -capacity 4
+//
+// SIGINT/SIGTERM leaves the cluster gracefully so in-flight work is
+// reassigned immediately instead of waiting out the heartbeat bound.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"grasp/internal/cluster"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://localhost:8090", "coordinator base URL (graspd -cluster-listen)")
+		id          = flag.String("id", "", "node id (default <hostname>-<pid>)")
+		capacity    = flag.Int("capacity", 2, "concurrent task executions")
+		batch       = flag.Int("batch", 1, "tasks pulled per lease")
+		benchSpin   = flag.Int64("bench-spin", 2_000_000, "startup benchmark iterations (calibration sample)")
+		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat interval (0 = coordinator-advertised)")
+		leaseWait   = flag.Duration("lease-wait", 2*time.Second, "lease long-poll bound")
+	)
+	flag.Parse()
+
+	w, err := cluster.StartWorker(cluster.WorkerConfig{
+		Coordinator: *coordinator,
+		ID:          *id,
+		Capacity:    *capacity,
+		Batch:       *batch,
+		BenchSpin:   *benchSpin,
+		Heartbeat:   *heartbeat,
+		LeaseWait:   *leaseWait,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("graspworker %s serving %s (%.0f ops/s)", w.ID(), *coordinator, w.SpeedOPS())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("graspworker %s leaving", w.ID())
+	w.Stop()
+}

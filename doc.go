@@ -55,4 +55,32 @@
 //     uses loadgen.Driver to hammer a running daemon with concurrent
 //     mixed-skeleton jobs, verifying exactly-once completion. See
 //     README.md for the API and a curl walkthrough.
+//
+// # Cluster layer
+//
+// internal/cluster crosses the process boundary: graspd (with
+// -cluster-listen) runs a coordinator that remote cmd/graspworker
+// processes register with — announcing an id, a concurrency capacity, and
+// a benchmark-derived speed — then serve task batches over long-poll
+// leases and heartbeat between them. A job created with `"placement":
+// "cluster"` executes on a cluster.Pool, a platform.Platform over the
+// nodes live at submission, so remote processes appear to skel/engine as
+// ordinary grid workers and the adaptive machinery runs unchanged — the
+// paper's portability claim made concrete (local and cluster placements
+// have identical semantics):
+//
+//   - initial dispatch weights come from Algorithm 1's ranking step
+//     applied to the register-time benchmark samples;
+//   - the detector observes coordinator-measured round-trip times, so
+//     Algorithm 2 adapts to real network, queueing, and node
+//     heterogeneity;
+//   - missed heartbeats (or eviction) retire a node through the engine's
+//     Faults path: its queued and in-flight executions fail over and the
+//     skeleton redelivers them to live nodes under fresh dispatch ids,
+//     while late results from dead incarnations are deduplicated — at
+//     least-once redelivery, exactly-once results.
+//
+// The daemon exposes node administration at /api/v1/nodes, per-node
+// execution tallies in cluster job statuses, and cluster gauges in
+// /metrics. See README.md's cluster quickstart.
 package grasp

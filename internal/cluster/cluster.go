@@ -1,0 +1,561 @@
+// Package cluster is the distributed worker-node subsystem: a coordinator
+// that dispatches skeleton tasks to remote worker processes over HTTP, and
+// the worker runtime those processes run. It is the layer that turns the
+// adaptive engine's "grid of heterogeneous, unreliable nodes" from a
+// simulation into real processes while leaving the adaptive machinery
+// unchanged:
+//
+//   - workers register with an id, a concurrency capacity, and a
+//     benchmark-derived speed — the register-time calibration sample a
+//     cluster job's initial dispatch weights are ranked from (Algorithm 1's
+//     ranking step over reported benchmarks instead of fresh probes);
+//   - a Pool projects a snapshot of live nodes as a platform.Platform, so
+//     remote nodes appear to skel/engine exactly like grid workers: Exec
+//     blocks for the task's round trip, and the observed round-trip times
+//     feed the job's Detector (Algorithm 2's monitoring, now measuring
+//     real network + queue + execution heterogeneity);
+//   - missed heartbeats retire nodes: every queued or in-flight dispatch of
+//     a dead node fails with ErrNodeLost, which surfaces through the
+//     engine's Faults path — the skeleton re-queues the task onto a live
+//     node (at-least-once redelivery) and retires the dead worker index;
+//   - each delivery carries a fresh dispatch id, so a late result from a
+//     node that was declared dead (or from a superseded registration) is
+//     recognised and dropped — redelivery never produces duplicate results.
+//
+// The coordinator is transport-level only: it never decides which node
+// runs a task. Placement stays with the skeletons' adaptive dispatch
+// (weights, demand, remapping), which is the point of the exercise.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"grasp/internal/metrics"
+)
+
+// Sentinel errors.
+var (
+	// ErrGone reports a request for a node that is unknown, superseded by a
+	// newer registration, or no longer live. Workers react by
+	// re-registering.
+	ErrGone = errors.New("cluster: node unknown, superseded, or not live")
+	// ErrNodeLost marks an execution lost to node death or eviction; it is
+	// the cluster analogue of grid.ErrNodeFailed and travels in
+	// platform.Result.Err so the engine's failure path re-queues the task.
+	ErrNodeLost = errors.New("cluster: node lost before delivering the result")
+)
+
+// Node states.
+const (
+	StateLive = "live"
+	StateDead = "dead"
+	StateLeft = "left"
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// DeadAfter is how long a node may stay silent (no lease, result, or
+	// heartbeat traffic) before it is declared dead and its outstanding
+	// work reassigned (default 3s).
+	DeadAfter time.Duration
+	// SweepEvery is the death-sweep period (default DeadAfter/4).
+	SweepEvery time.Duration
+	// MaxLeaseWait bounds a lease long-poll (default 5s).
+	MaxLeaseWait time.Duration
+	// MaxBatch bounds tasks handed out per lease (default 64).
+	MaxBatch int
+	// LeaseTTL bounds how long a leased execution may stay unresolved on a
+	// live node before the sweeper requeues it for redelivery — the guard
+	// against a lease response lost in transit, which would otherwise
+	// strand the dispatch forever (the node keeps heartbeating, so death
+	// never fires). It must exceed the longest legitimate execution
+	// (default 90s, above the service layer's 60s per-task sleep cap);
+	// a late result from the original delivery is deduplicated as usual.
+	LeaseTTL time.Duration
+	// DeadRetention is how long dead/left registrations stay listed for
+	// inspection before being pruned, with their per-node metric series
+	// (default 20×DeadAfter). Worker ids default to <host>-<pid>, so a
+	// churning fleet mints new ids forever; without pruning the registry
+	// grows without bound.
+	DeadRetention time.Duration
+	// Registry receives the cluster's operational metrics (default: a
+	// fresh registry).
+	Registry *metrics.Registry
+	// Logf, when set, receives membership events.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * time.Second
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.DeadAfter / 4
+	}
+	if c.MaxLeaseWait <= 0 {
+		c.MaxLeaseWait = 5 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 90 * time.Second
+	}
+	if c.DeadRetention <= 0 {
+		c.DeadRetention = 20 * c.DeadAfter
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// dispatchOutcome resolves one submitted execution.
+type dispatchOutcome struct {
+	micros int64
+	err    error
+}
+
+// dispatch is one queued or in-flight execution on a specific node.
+type dispatch struct {
+	id   int64
+	task int
+	work Work
+	done chan dispatchOutcome // buffered(1); resolved exactly once
+	// leasedAt is when the dispatch last moved to in-flight; the sweeper
+	// requeues it after LeaseTTL in case the lease response never arrived.
+	leasedAt time.Time
+}
+
+// node is one registration's server-side state. A re-registration under
+// the same id replaces the whole entry under a new generation.
+type node struct {
+	id         string
+	gen        int64
+	capacity   int
+	speed      float64
+	state      string
+	registered time.Time
+	lastSeen   time.Time
+	queue      []*dispatch
+	inflight   map[int64]*dispatch
+	// wake nudges one long-polling lease when work arrives; gone is closed
+	// on death/leave so every poller exits immediately.
+	wake chan struct{}
+	gone chan struct{}
+	completed, failed,
+	deduped int64
+}
+
+// Coordinator owns the node registry and the per-node task queues. It is
+// safe for concurrent use; create one with NewCoordinator and Close it to
+// stop the death sweeper.
+type Coordinator struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu           sync.Mutex
+	nodes        map[string]*node
+	nextGen      int64
+	nextDispatch int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator and starts its death sweeper.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	co := &Coordinator{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		nodes: make(map[string]*node),
+		stop:  make(chan struct{}),
+	}
+	go co.sweep()
+	return co
+}
+
+// Metrics exposes the coordinator's operational counters and gauges.
+func (co *Coordinator) Metrics() *metrics.Registry { return co.reg }
+
+// DeadAfter reports the configured silence bound.
+func (co *Coordinator) DeadAfter() time.Duration { return co.cfg.DeadAfter }
+
+// Close stops the death sweeper. Outstanding dispatches are failed so no
+// Pool.Exec stays blocked forever.
+func (co *Coordinator) Close() {
+	co.stopOnce.Do(func() {
+		close(co.stop)
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		for _, n := range co.nodes {
+			if n.state == StateLive {
+				co.expireLocked(n, StateLeft, "coordinator closed")
+			}
+		}
+	})
+}
+
+// logf reports a membership event when logging is configured.
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Logf != nil {
+		co.cfg.Logf(format, args...)
+	}
+}
+
+// Register admits (or re-admits) a worker. A live node under the same id
+// is superseded: its outstanding work fails over exactly as if it had
+// died, and the new registration starts clean under a fresh generation.
+func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.ID == "" {
+		return RegisterResponse{}, fmt.Errorf("cluster: register with empty node id")
+	}
+	capacity := req.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if old, ok := co.nodes[req.ID]; ok && old.state == StateLive {
+		co.expireLocked(old, StateDead, "superseded by re-registration")
+	}
+	co.nextGen++
+	now := time.Now()
+	n := &node{
+		id:         req.ID,
+		gen:        co.nextGen,
+		capacity:   capacity,
+		speed:      req.SpeedOPS,
+		state:      StateLive,
+		registered: now,
+		lastSeen:   now,
+		inflight:   make(map[int64]*dispatch),
+		wake:       make(chan struct{}, 1),
+		gone:       make(chan struct{}),
+	}
+	co.nodes[req.ID] = n
+	co.reg.Counter("cluster_registers_total").Inc()
+	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
+	co.logf("cluster: node %s registered (gen %d, capacity %d, %.0f ops/s)",
+		n.id, n.gen, n.capacity, n.speed)
+	return RegisterResponse{
+		Gen:         n.gen,
+		HeartbeatMS: (co.cfg.DeadAfter / 3).Milliseconds(),
+	}, nil
+}
+
+// lookupLocked resolves an (id, gen) pair to its live node.
+func (co *Coordinator) lookupLocked(id string, gen int64) (*node, error) {
+	n, ok := co.nodes[id]
+	if !ok || n.gen != gen || n.state != StateLive {
+		return nil, ErrGone
+	}
+	return n, nil
+}
+
+// Heartbeat refreshes a node's liveness.
+func (co *Coordinator) Heartbeat(req HeartbeatRequest) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	n, err := co.lookupLocked(req.ID, req.Gen)
+	if err != nil {
+		return err
+	}
+	n.lastSeen = time.Now()
+	co.reg.Counter("cluster_heartbeats_total").Inc()
+	return nil
+}
+
+// Leave retires a node gracefully: outstanding work fails over immediately.
+func (co *Coordinator) Leave(req LeaveRequest) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	n, err := co.lookupLocked(req.ID, req.Gen)
+	if err != nil {
+		return err
+	}
+	co.expireLocked(n, StateLeft, "left")
+	return nil
+}
+
+// Evict administratively retires a live node (the DELETE /nodes/{id}
+// admin action); its outstanding work fails over immediately.
+func (co *Coordinator) Evict(id string) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	n, ok := co.nodes[id]
+	if !ok || n.state != StateLive {
+		return ErrGone
+	}
+	co.expireLocked(n, StateDead, "evicted")
+	return nil
+}
+
+// expireLocked moves a node out of the live set and fails its queued and
+// in-flight dispatches with ErrNodeLost, which is what drives the engine's
+// Faults-based reassignment for every affected job.
+func (co *Coordinator) expireLocked(n *node, state, cause string) {
+	if n.state != StateLive {
+		return
+	}
+	n.state = state
+	lost := len(n.queue) + len(n.inflight)
+	for _, d := range n.queue {
+		d.done <- dispatchOutcome{err: ErrNodeLost}
+	}
+	n.queue = nil
+	for id, d := range n.inflight {
+		delete(n.inflight, id)
+		d.done <- dispatchOutcome{err: ErrNodeLost}
+	}
+	n.failed += int64(lost)
+	close(n.gone)
+	co.reg.Counter("cluster_deaths_total").Inc()
+	co.reg.Counter("cluster_tasks_failed_total").Add(int64(lost))
+	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
+	co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(n.id)).Set(0)
+	co.logf("cluster: node %s (gen %d) %s; %d execution(s) reassigned", n.id, n.gen, cause, lost)
+}
+
+// liveCountLocked counts live nodes.
+func (co *Coordinator) liveCountLocked() int64 {
+	var live int64
+	for _, n := range co.nodes {
+		if n.state == StateLive {
+			live++
+		}
+	}
+	return live
+}
+
+// sweep runs the periodic maintenance pass: silent live nodes are
+// declared dead, leases unresolved past the TTL on live nodes are
+// requeued for redelivery, and long-expired registrations are pruned
+// along with their per-node metric series.
+func (co *Coordinator) sweep() {
+	t := time.NewTicker(co.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		co.mu.Lock()
+		for id, n := range co.nodes {
+			switch {
+			case n.state == StateLive && now.Sub(n.lastSeen) > co.cfg.DeadAfter:
+				co.expireLocked(n, StateDead, "missed heartbeats")
+			case n.state == StateLive:
+				co.requeueExpiredLeasesLocked(n, now)
+			case now.Sub(n.lastSeen) > co.cfg.DeadRetention:
+				delete(co.nodes, id)
+				safe := metrics.LabelSafe(id)
+				co.reg.Delete("cluster_node_inflight_" + safe)
+				co.reg.Delete("cluster_node_" + safe + "_completed_total")
+				co.reg.Counter("cluster_nodes_pruned_total").Inc()
+			}
+		}
+		co.mu.Unlock()
+	}
+}
+
+// requeueExpiredLeasesLocked redelivers in-flight dispatches whose lease
+// outlived the TTL on a node that is otherwise alive — the lease response
+// (or the worker's grip on it) was lost in transit. The dispatch keeps its
+// id and done channel: resolution only ever happens out of the in-flight
+// map, so if the original delivery's result does arrive later it is
+// deduplicated, and the redelivered execution resolves the task instead.
+func (co *Coordinator) requeueExpiredLeasesLocked(n *node, now time.Time) {
+	requeued := 0
+	for id, d := range n.inflight {
+		if now.Sub(d.leasedAt) > co.cfg.LeaseTTL {
+			delete(n.inflight, id)
+			n.queue = append(n.queue, d)
+			requeued++
+		}
+	}
+	if requeued == 0 {
+		return
+	}
+	co.reg.Counter("cluster_leases_expired_total").Add(int64(requeued))
+	co.logf("cluster: node %s: %d lease(s) expired after %v; requeued for redelivery",
+		n.id, requeued, co.cfg.LeaseTTL)
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// submit queues one execution on a node and returns the channel its
+// outcome resolves on. Pools call this from Exec; an error means the node
+// is already gone and the caller should fail the execution immediately.
+func (co *Coordinator) submit(id string, gen int64, task int, w Work) (<-chan dispatchOutcome, error) {
+	co.mu.Lock()
+	n, err := co.lookupLocked(id, gen)
+	if err != nil {
+		co.mu.Unlock()
+		return nil, err
+	}
+	co.nextDispatch++
+	d := &dispatch{
+		id:   co.nextDispatch,
+		task: task,
+		work: w,
+		done: make(chan dispatchOutcome, 1),
+	}
+	n.queue = append(n.queue, d)
+	co.mu.Unlock()
+	co.reg.Counter("cluster_tasks_dispatched_total").Inc()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+	return d.done, nil
+}
+
+// Lease hands out up to req.Max queued executions, long-polling up to
+// req.WaitMS (bounded by MaxLeaseWait) while the queue is empty.
+func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait <= 0 || wait > co.cfg.MaxLeaseWait {
+		wait = co.cfg.MaxLeaseWait
+	}
+	maxTasks := req.Max
+	if maxTasks < 1 || maxTasks > co.cfg.MaxBatch {
+		maxTasks = co.cfg.MaxBatch
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		co.mu.Lock()
+		n, err := co.lookupLocked(req.ID, req.Gen)
+		if err != nil {
+			co.mu.Unlock()
+			return LeaseResponse{}, err
+		}
+		n.lastSeen = time.Now()
+		take := len(n.queue)
+		if take > maxTasks {
+			take = maxTasks
+		}
+		var out []WireTask
+		for _, d := range n.queue[:take] {
+			d.leasedAt = time.Now()
+			n.inflight[d.id] = d
+			out = append(out, WireTask{Dispatch: d.id, Task: d.task, Work: d.work})
+		}
+		n.queue = n.queue[0:copy(n.queue, n.queue[take:])]
+		inflight, queued := len(n.inflight), len(n.queue)
+		wake, gone := n.wake, n.gone
+		co.mu.Unlock()
+		if take > 0 {
+			if queued > 0 {
+				// Wake tokens are buffered(1), so a submit burst collapses to
+				// one token: cascade it to the next parked poller while work
+				// remains, or idle executors wait out their long-poll.
+				select {
+				case wake <- struct{}{}:
+				default:
+				}
+			}
+			co.reg.Counter("cluster_leases_total").Inc()
+			co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(req.ID)).Set(int64(inflight))
+			return LeaseResponse{Tasks: out}, nil
+		}
+		select {
+		case <-wake:
+		case <-gone:
+			return LeaseResponse{}, ErrGone
+		case <-deadline.C:
+			return LeaseResponse{}, nil
+		case <-co.stop:
+			return LeaseResponse{}, ErrGone
+		}
+	}
+}
+
+// Results accepts a batch of finished executions. Results for dispatches
+// no longer in flight — a delivery that raced death-driven reassignment,
+// or a duplicate post — are dropped and counted, which is what keeps
+// at-least-once redelivery from ever surfacing a task twice.
+func (co *Coordinator) Results(req ResultsRequest) error {
+	co.mu.Lock()
+	n, err := co.lookupLocked(req.ID, req.Gen)
+	if err != nil {
+		co.mu.Unlock()
+		co.reg.Counter("cluster_results_dropped_total").Add(int64(len(req.Results)))
+		return err
+	}
+	n.lastSeen = time.Now()
+	var accepted, dropped int64
+	for _, r := range req.Results {
+		d, ok := n.inflight[r.Dispatch]
+		if !ok {
+			dropped++
+			n.deduped++
+			continue
+		}
+		delete(n.inflight, r.Dispatch)
+		accepted++
+		n.completed++
+		d.done <- dispatchOutcome{micros: r.Micros}
+	}
+	inflight := len(n.inflight)
+	co.mu.Unlock()
+	safe := metrics.LabelSafe(req.ID)
+	co.reg.Counter("cluster_tasks_completed_total").Add(accepted)
+	co.reg.Counter("cluster_node_" + safe + "_completed_total").Add(accepted)
+	co.reg.Counter("cluster_results_dropped_total").Add(dropped)
+	co.reg.Gauge("cluster_node_inflight_" + safe).Set(int64(inflight))
+	return nil
+}
+
+// infoLocked snapshots one node for the admin listing.
+func (n *node) infoLocked(now time.Time) NodeInfo {
+	return NodeInfo{
+		ID:         n.id,
+		Gen:        n.gen,
+		State:      n.state,
+		Capacity:   n.capacity,
+		SpeedOPS:   n.speed,
+		Queued:     len(n.queue),
+		InFlight:   len(n.inflight),
+		Completed:  n.completed,
+		Failed:     n.failed,
+		Deduped:    n.deduped,
+		LastSeenMS: now.Sub(n.lastSeen).Milliseconds(),
+	}
+}
+
+// Nodes lists every registration (live and expired), sorted by id.
+func (co *Coordinator) Nodes() []NodeInfo {
+	now := time.Now()
+	co.mu.Lock()
+	out := make([]NodeInfo, 0, len(co.nodes))
+	for _, n := range co.nodes {
+		out = append(out, n.infoLocked(now))
+	}
+	co.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Live lists the live nodes, sorted by id — the snapshot a cluster job's
+// Pool is built from.
+func (co *Coordinator) Live() []NodeInfo {
+	all := co.Nodes()
+	out := all[:0]
+	for _, ni := range all {
+		if ni.State == StateLive {
+			out = append(out, ni)
+		}
+	}
+	return out
+}

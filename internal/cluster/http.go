@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxClusterBody bounds a worker-facing request body; result batches are
+// small (a few dozen entries), so 1 MiB is generous.
+const maxClusterBody = 1 << 20
+
+// Handler returns the worker-facing protocol endpoints under /cluster/v1/.
+// Mount it on the cluster listener (graspd -cluster-listen); the admin
+// /nodes view belongs to the service API, not here.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeClusterBody(w, r, &req) {
+			return
+		}
+		resp, err := co.Register(req)
+		if err != nil {
+			writeClusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /cluster/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeClusterBody(w, r, &req) {
+			return
+		}
+		resp, err := co.Lease(req)
+		if err != nil {
+			writeClusterError(w, statusFor(err), err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /cluster/v1/results", func(w http.ResponseWriter, r *http.Request) {
+		var req ResultsRequest
+		if !decodeClusterBody(w, r, &req) {
+			return
+		}
+		if err := co.Results(req); err != nil {
+			writeClusterError(w, statusFor(err), err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /cluster/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeClusterBody(w, r, &req) {
+			return
+		}
+		if err := co.Heartbeat(req); err != nil {
+			writeClusterError(w, statusFor(err), err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /cluster/v1/leave", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaveRequest
+		if !decodeClusterBody(w, r, &req) {
+			return
+		}
+		if err := co.Leave(req); err != nil {
+			writeClusterError(w, statusFor(err), err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /cluster/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeClusterJSON(w, http.StatusOK, map[string]any{"nodes": co.Nodes()})
+	})
+	return mux
+}
+
+// statusFor maps protocol errors onto status codes: ErrGone is 410 so a
+// zombie worker knows to re-register.
+func statusFor(err error) int {
+	if errors.Is(err, ErrGone) {
+		return http.StatusGone
+	}
+	return http.StatusBadRequest
+}
+
+// decodeClusterBody parses a bounded JSON body, answering 400 itself when
+// the payload is malformed.
+func decodeClusterBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	defer r.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxClusterBody))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		writeClusterError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// writeClusterJSON encodes v with the given status.
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeClusterError reports err as {"error": "..."}.
+func writeClusterError(w http.ResponseWriter, status int, err error) {
+	writeClusterJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"grasp/internal/monitor"
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+)
+
+// Pool projects a frozen snapshot of live cluster nodes as a
+// platform.Platform, which is how remote worker processes appear to
+// skel/engine as ordinary grid workers. Every skeleton executes at most
+// one task at a time per worker index, so a node's declared capacity is
+// exposed as that many worker indices (execution slots): a node with
+// capacity 4 contributes 4 indices, each a serial Exec lane, and its 4
+// worker-side executors serve them concurrently — one job can use the
+// whole node. Exec queues the task on the slot's node and blocks until a
+// worker process delivers the result (or the node dies, in which case the
+// failed Result drives the engine's Faults reassignment exactly like a
+// grid node crash — every slot of the dead node fails over). Result.Time
+// is the coordinator-observed round trip — queueing, network, and
+// execution — so the Detector adapts to the heterogeneity the cluster
+// actually exhibits.
+//
+// A Pool is created per job from the nodes live at submission; nodes
+// joining later serve later jobs. It is safe for concurrent Exec calls,
+// and it only runs on the real runtime (remote processes have no place in
+// the simulator's virtual time).
+type Pool struct {
+	coord   *Coordinator
+	l       *rt.Local
+	members []PoolMember
+	stats   []poolStats
+}
+
+// PoolMember pins one execution slot of one node registration into a
+// pool. The generation makes a node that dies and re-registers mid-job
+// count as a fresh node for later jobs rather than silently rejoining
+// this one; Slot distinguishes the node's parallel lanes.
+type PoolMember struct {
+	ID       string
+	Gen      int64
+	SpeedOPS float64
+	Capacity int
+	Slot     int
+}
+
+// poolStats is one member's per-job accounting, atomic because skeleton
+// processes call Exec concurrently.
+type poolStats struct {
+	dispatched atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+}
+
+// NodeCount is one member's per-job execution tally, JSON-ready for job
+// statuses.
+type NodeCount struct {
+	Node       string `json:"node"`
+	Dispatched int64  `json:"dispatched"`
+	Completed  int64  `json:"completed"`
+	Failed     int64  `json:"failed"`
+}
+
+// NewPool builds a platform over the given node snapshot (typically
+// Coordinator.Live at job submission), one worker index per execution
+// slot.
+func NewPool(coord *Coordinator, l *rt.Local, nodes []NodeInfo) *Pool {
+	var members []PoolMember
+	for _, ni := range nodes {
+		capacity := ni.Capacity
+		if capacity < 1 {
+			capacity = 1
+		}
+		for s := 0; s < capacity; s++ {
+			members = append(members, PoolMember{
+				ID: ni.ID, Gen: ni.Gen, SpeedOPS: ni.SpeedOPS,
+				Capacity: capacity, Slot: s,
+			})
+		}
+	}
+	return &Pool{coord: coord, l: l, members: members, stats: make([]poolStats, len(members))}
+}
+
+// TotalCapacity is the cluster's concurrent execution slots — the pool's
+// worker count, and what a cluster job's default admission window is
+// sized from.
+func (p *Pool) TotalCapacity() int { return len(p.members) }
+
+// Members returns the pool's node snapshot in worker-index order.
+func (p *Pool) Members() []PoolMember { return append([]PoolMember(nil), p.members...) }
+
+// Runtime implements Platform.
+func (p *Pool) Runtime() rt.Runtime { return p.l }
+
+// Size implements Platform.
+func (p *Pool) Size() int { return len(p.members) }
+
+// WorkerName implements Platform: slots are named "<node>#<slot>" (bare
+// node id for single-slot nodes) so traces distinguish a node's lanes.
+func (p *Pool) WorkerName(i int) string {
+	m := p.members[i]
+	if m.Capacity <= 1 {
+		return m.ID
+	}
+	return fmt.Sprintf("%s#%d", m.ID, m.Slot)
+}
+
+// NodeName returns the node id behind worker index i — the user-facing
+// attribution (result `node` fields, per-node tallies), which aggregates
+// a node's slots.
+func (p *Pool) NodeName(i int) string { return p.members[i].ID }
+
+// Exec implements Platform: the task is queued on member i's node and the
+// calling context blocks for the round trip. A node lost mid-flight (or
+// already gone) yields a failed Result carrying ErrNodeLost, which the
+// skeletons treat exactly like a worker crash: retire and re-queue.
+func (p *Pool) Exec(c rt.Ctx, i int, t platform.Task) platform.Result {
+	m := p.members[i]
+	start := c.Now()
+	p.stats[i].dispatched.Add(1)
+	done, err := p.coord.submit(m.ID, m.Gen, t.ID, EncodeWork(t.Cost, t.Data))
+	if err != nil {
+		p.stats[i].failed.Add(1)
+		return platform.Result{Task: t, Worker: i, Start: start, Err: ErrNodeLost}
+	}
+	out := <-done
+	if out.err != nil {
+		p.stats[i].failed.Add(1)
+		return platform.Result{Task: t, Worker: i, Start: start, Time: c.Now() - start, Err: out.err}
+	}
+	p.stats[i].completed.Add(1)
+	return platform.Result{
+		Task:   t,
+		Worker: i,
+		Value:  t.ID,
+		Time:   c.Now() - start,
+		Start:  start,
+	}
+}
+
+// LoadSensor implements Platform: remote load is already embedded in the
+// round-trip times the detector observes, so the sensor reads zero.
+func (p *Pool) LoadSensor(int) monitor.Sensor {
+	return monitor.FuncSensor(func() float64 { return 0 })
+}
+
+// BandwidthSensor implements Platform.
+func (p *Pool) BandwidthSensor(int) monitor.Sensor {
+	return monitor.FuncSensor(func() float64 { return 0 })
+}
+
+// NodeCounts tallies this job's executions per member node, aggregating
+// each node's slots, in first-seen node order.
+func (p *Pool) NodeCounts() []NodeCount {
+	var out []NodeCount
+	index := make(map[string]int)
+	for i, m := range p.members {
+		k, ok := index[m.ID]
+		if !ok {
+			k = len(out)
+			index[m.ID] = k
+			out = append(out, NodeCount{Node: m.ID})
+		}
+		out[k].Dispatched += p.stats[i].dispatched.Load()
+		out[k].Completed += p.stats[i].completed.Load()
+		out[k].Failed += p.stats[i].failed.Load()
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// WorkerConfig parameterises a worker-node runtime.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (the graspd -cluster-listen
+	// address), e.g. "http://host:8090".
+	Coordinator string
+	// ID names the node (default "<hostname>-<pid>").
+	ID string
+	// Capacity is how many tasks execute concurrently (default 2).
+	Capacity int
+	// Batch is how many tasks one lease pulls (default 1; each of the
+	// Capacity executors leases independently).
+	Batch int
+	// BenchSpin is the startup benchmark's iteration count; the measured
+	// speed registers as this node's calibration sample (default 2e6).
+	BenchSpin int64
+	// Heartbeat overrides the coordinator-advertised heartbeat interval.
+	Heartbeat time.Duration
+	// LeaseWait is the long-poll bound requested per lease (default 2s).
+	LeaseWait time.Duration
+	// Client is the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+	// Logf, when set, receives lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "node"
+		}
+		c.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if c.Capacity < 1 {
+		c.Capacity = 2
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
+	if c.BenchSpin <= 0 {
+		c.BenchSpin = 2_000_000
+	}
+	if c.LeaseWait <= 0 {
+		c.LeaseWait = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// Worker is a running worker-node: registered with its coordinator,
+// heartbeating, and executing leased tasks on Capacity concurrent
+// executors. Create one with StartWorker; Stop leaves gracefully.
+type Worker struct {
+	cfg   WorkerConfig
+	speed float64
+
+	mu  sync.Mutex
+	gen int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Benchmark measures this process's spin speed in iterations/second — the
+// register-time calibration sample Algorithm 1's ranking step turns into a
+// cluster job's initial dispatch weights.
+func Benchmark(spin int64) float64 {
+	start := time.Now()
+	Spin(spin)
+	secs := time.Since(start).Seconds()
+	if secs <= 0 {
+		return float64(spin) * 1e9
+	}
+	return float64(spin) / secs
+}
+
+// Spin busy-loops n iterations. It is THE spin kernel: the worker
+// benchmark, the remote execution of spin work, the service's local task
+// closures, and the calibration probes must all run this exact loop, or
+// cluster weights stop being comparable with local calibration.
+func Spin(n int64) {
+	x := 1.0
+	for i := int64(0); i < n; i++ {
+		x += x * 1e-9
+	}
+	_ = x
+}
+
+// ExecWork performs one wire task's computation and returns the measured
+// execution time.
+func ExecWork(w Work) time.Duration {
+	start := time.Now()
+	if w.SleepUS > 0 {
+		time.Sleep(time.Duration(w.SleepUS) * time.Microsecond)
+	}
+	if w.Spin > 0 {
+		Spin(w.Spin)
+	}
+	return time.Since(start)
+}
+
+// StartWorker benchmarks, registers, and starts the heartbeat and executor
+// loops. It returns once registration succeeds; a coordinator that is not
+// up yet is retried for a few seconds so worker and coordinator processes
+// can start in any order.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	w := &Worker{
+		cfg:   cfg,
+		speed: Benchmark(cfg.BenchSpin),
+		stop:  make(chan struct{}),
+	}
+	var hb time.Duration
+	var err error
+	for attempt := 0; ; attempt++ {
+		hb, err = w.register()
+		if err == nil {
+			break
+		}
+		if attempt >= 20 {
+			return nil, err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if cfg.Heartbeat <= 0 {
+		w.cfg.Heartbeat = hb
+	}
+	w.logf("cluster: worker %s registered with %s (%.0f ops/s, capacity %d)",
+		cfg.ID, cfg.Coordinator, w.speed, cfg.Capacity)
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	for i := 0; i < cfg.Capacity; i++ {
+		w.wg.Add(1)
+		go w.executorLoop()
+	}
+	return w, nil
+}
+
+// ID returns the node id this worker registered under.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// SpeedOPS returns the benchmark-derived speed reported at registration.
+func (w *Worker) SpeedOPS() float64 { return w.speed }
+
+// Stop leaves the cluster gracefully (outstanding work fails over
+// immediately rather than waiting for the dead-after bound) and waits for
+// the loops to exit.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		w.postJSON("/cluster/v1/leave", LeaveRequest{ID: w.cfg.ID, Gen: w.currentGen()}, nil)
+	})
+	w.wg.Wait()
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+func (w *Worker) currentGen() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// register (re-)registers and installs the fresh generation. It returns
+// the coordinator-advertised heartbeat interval.
+func (w *Worker) register() (time.Duration, error) {
+	var resp RegisterResponse
+	err := w.postJSON("/cluster/v1/register", RegisterRequest{
+		ID:       w.cfg.ID,
+		Capacity: w.cfg.Capacity,
+		SpeedOPS: w.speed,
+	}, &resp)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: register %s with %s: %w", w.cfg.ID, w.cfg.Coordinator, err)
+	}
+	w.mu.Lock()
+	w.gen = resp.Gen
+	w.mu.Unlock()
+	hb := time.Duration(resp.HeartbeatMS) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	return hb, nil
+}
+
+// reRegister refreshes a superseded registration, but only once per stale
+// generation — concurrent executors and the heartbeat loop all observing
+// ErrGone must not stampede. A stopping worker never re-registers: its
+// loops observe ErrGone from their own Leave, and re-admitting the node
+// would leave a live ghost with no executors behind it.
+func (w *Worker) reRegister(staleGen int64) {
+	select {
+	case <-w.stop:
+		return
+	default:
+	}
+	w.mu.Lock()
+	current := w.gen
+	w.mu.Unlock()
+	if current != staleGen {
+		return // someone else already re-registered
+	}
+	if _, err := w.register(); err != nil {
+		w.logf("cluster: worker %s re-register failed: %v", w.cfg.ID, err)
+		w.sleepOrStop(500 * time.Millisecond)
+		return
+	}
+	w.logf("cluster: worker %s re-registered", w.cfg.ID)
+}
+
+// heartbeatLoop keeps the registration alive.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+		gen := w.currentGen()
+		err := w.postJSON("/cluster/v1/heartbeat", HeartbeatRequest{ID: w.cfg.ID, Gen: gen}, nil)
+		if errors.Is(err, ErrGone) {
+			w.reRegister(gen)
+		}
+	}
+}
+
+// executorLoop leases, executes, and reports until stopped.
+func (w *Worker) executorLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		gen := w.currentGen()
+		var lease LeaseResponse
+		err := w.postJSON("/cluster/v1/lease", LeaseRequest{
+			ID:     w.cfg.ID,
+			Gen:    gen,
+			Max:    w.cfg.Batch,
+			WaitMS: w.cfg.LeaseWait.Milliseconds(),
+		}, &lease)
+		if errors.Is(err, ErrGone) {
+			w.reRegister(gen)
+			continue
+		}
+		if err != nil {
+			w.sleepOrStop(200 * time.Millisecond)
+			continue
+		}
+		if len(lease.Tasks) == 0 {
+			continue // long-poll timeout
+		}
+		// A batch executes serially but every task counts as in-flight from
+		// lease time, so results post per task: the coordinator's LeaseTTL
+		// only has to cover one execution, not Batch of them, and a batch's
+		// tail is never spuriously requeued while its head is still running.
+		for _, t := range lease.Tasks {
+			d := ExecWork(t.Work)
+			w.postResults(gen, []WireResult{{Dispatch: t.Dispatch, Task: t.Task, Micros: d.Microseconds()}})
+		}
+	}
+}
+
+// postResults delivers a result batch, retrying transport errors for as
+// long as the worker is alive. Giving up earlier would strand the
+// dispatches in flight on a node the coordinator still believes live —
+// redelivery only triggers on node death, and a blip shorter than the
+// dead-after bound never kills the node. On ErrGone the batch is
+// abandoned: the coordinator has already reassigned the work, and posting
+// under a new generation would only be deduped anyway.
+func (w *Worker) postResults(gen int64, results []WireResult) {
+	for attempt := 0; ; attempt++ {
+		err := w.postJSON("/cluster/v1/results", ResultsRequest{
+			ID: w.cfg.ID, Gen: gen, Results: results,
+		}, nil)
+		if err == nil || errors.Is(err, ErrGone) {
+			return
+		}
+		w.logf("cluster: worker %s post results: %v", w.cfg.ID, err)
+		backoff := time.Duration(attempt+1) * 100 * time.Millisecond
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+		if !w.sleepOrStop(backoff) {
+			return
+		}
+	}
+}
+
+// sleepOrStop pauses for d, reporting false when the worker is stopping.
+func (w *Worker) sleepOrStop(d time.Duration) bool {
+	select {
+	case <-w.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// postJSON posts req to the coordinator and decodes into out when non-nil.
+// HTTP 410 surfaces as ErrGone.
+func (w *Worker) postJSON(path string, req, out any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		return err
+	}
+	resp, err := w.cfg.Client.Post(w.cfg.Coordinator+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return ErrGone
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("cluster: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

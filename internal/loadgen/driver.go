@@ -52,6 +52,10 @@ type Driver struct {
 	PipelineStages int
 	// WaveSize caps dmap jobs' decomposition waves (0: server default).
 	WaveSize int
+	// Placement routes every job's execution: "" or "local" runs on the
+	// daemon's workers, "cluster" on its registered graspworker nodes —
+	// the knob for driving a whole cluster scenario.
+	Placement string
 }
 
 func (d Driver) withDefaults() Driver {
@@ -172,6 +176,9 @@ func (d Driver) driveJob(name, skeleton string, salt int64, deadline time.Time, 
 	create := map[string]any{"name": name}
 	if d.Window > 0 {
 		create["window"] = d.Window
+	}
+	if d.Placement != "" {
+		create["placement"] = d.Placement
 	}
 	switch skeleton {
 	case "", "farm":

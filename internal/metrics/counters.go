@@ -61,6 +61,21 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Max returns the high-water mark.
 func (g *Gauge) Max() int64 { return g.max.Load() }
 
+// LabelSafe folds an arbitrary identifier (a cluster node id, a job name)
+// into the [a-zA-Z0-9_] alphabet metric names are built from, so dynamic
+// per-entity metrics stay parseable by the plain-text exposition format.
+func LabelSafe(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
 // Registry is a named collection of counters and gauges. The zero value is
 // not usable; call NewRegistry.
 type Registry struct {
@@ -87,6 +102,16 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Delete removes the named counter and/or gauge. Use for per-entity
+// series (per-node gauges) whose entity is gone — a registry serving a
+// long-lived daemon must not accumulate series for every id ever seen.
+func (r *Registry) Delete(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
 }
 
 // Gauge returns the named gauge, creating it on first use.

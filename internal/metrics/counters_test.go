@@ -59,3 +59,17 @@ func TestRegistrySnapshotAndRender(t *testing.T) {
 		t.Errorf("render = %q", rendered)
 	}
 }
+
+func TestLabelSafe(t *testing.T) {
+	cases := map[string]string{
+		"node-a":       "node_a",
+		"host.12:90":   "host_12_90",
+		"ok_Already9":  "ok_Already9",
+		"sp ace/slash": "sp_ace_slash",
+	}
+	for in, want := range cases {
+		if got := LabelSafe(in); got != want {
+			t.Errorf("LabelSafe(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package service_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"grasp/internal/cluster"
+	"grasp/internal/service"
+)
+
+// startClusterDaemon builds a service with a live coordinator and n
+// in-process workers running the real HTTP worker runtime.
+func startClusterDaemon(t *testing.T, n int) (*service.Service, *cluster.Coordinator) {
+	t.Helper()
+	coord := cluster.NewCoordinator(cluster.Config{
+		DeadAfter:    500 * time.Millisecond,
+		MaxLeaseWait: 200 * time.Millisecond,
+	})
+	t.Cleanup(coord.Close)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	for i := 0; i < n; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: srv.URL,
+			ID:          string(rune('a' + i)),
+			Capacity:    2,
+			BenchSpin:   10_000,
+			Heartbeat:   50 * time.Millisecond,
+			LeaseWait:   100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+	}
+	s := service.New(service.Config{
+		Workers:     2,
+		WarmupTasks: 4,
+		Cluster:     coord,
+	})
+	return s, coord
+}
+
+func TestClusterPlacementJobRunsOnWorkerNodes(t *testing.T) {
+	s, _ := startClusterDaemon(t, 2)
+	j, err := s.Submit("remote", service.JobSpec{Placement: service.PlacementCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]service.TaskSpec, 30)
+	for i := range specs {
+		specs[i] = service.TaskSpec{ID: i, SleepUS: 300}
+	}
+	if _, err := j.Push(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CloseInput(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster job never drained")
+	}
+
+	st := j.Status()
+	if st.Placement != service.PlacementCluster {
+		t.Errorf("placement = %q", st.Placement)
+	}
+	if st.Completed != 30 || st.Failures != 0 {
+		t.Errorf("completed=%d failures=%d", st.Completed, st.Failures)
+	}
+	if len(st.Nodes) != 2 {
+		t.Fatalf("per-node status = %+v, want 2 nodes", st.Nodes)
+	}
+	var total int64
+	for _, nc := range st.Nodes {
+		if nc.Completed == 0 {
+			t.Errorf("node %s completed nothing: job did not span the cluster", nc.Node)
+		}
+		total += nc.Completed
+	}
+	if total != 30 {
+		t.Errorf("per-node completions sum to %d, want 30", total)
+	}
+
+	// Results carry the executing node and stay exactly-once.
+	results, _ := j.Results(0)
+	if len(results) != 30 {
+		t.Fatalf("results = %d", len(results))
+	}
+	seen := make(map[int]bool)
+	for _, r := range results {
+		if r.Node == "" {
+			t.Fatalf("result %d has no node", r.ID)
+		}
+		if seen[r.ID] {
+			t.Fatalf("task %d duplicated", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestClusterPlacementPipelineJob(t *testing.T) {
+	s, _ := startClusterDaemon(t, 2)
+	j, err := s.Submit("remote-pipe", service.JobSpec{
+		Skeleton:  "pipeline",
+		Placement: service.PlacementCluster,
+		Stages:    []service.StageSpec{{Name: "a"}, {Name: "b", CostFactor: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]service.TaskSpec, 12)
+	for i := range specs {
+		specs[i] = service.TaskSpec{ID: i, SleepUS: 200}
+	}
+	if _, err := j.Push(specs); err != nil {
+		t.Fatal(err)
+	}
+	j.CloseInput()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster pipeline never drained")
+	}
+	if st := j.Status(); st.Completed != 12 {
+		t.Errorf("completed = %d", st.Completed)
+	}
+}
+
+func TestPushUnblocksWhenEveryNodeDies(t *testing.T) {
+	s, coord := startClusterDaemon(t, 1)
+	j, err := s.Submit("doomed", service.JobSpec{Placement: service.PlacementCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far more slow tasks than the window: the push blocks under
+	// backpressure while the only node is evicted out from under it.
+	specs := make([]service.TaskSpec, 200)
+	for i := range specs {
+		specs[i] = service.TaskSpec{ID: i, SleepUS: 50_000}
+	}
+	type outcome struct {
+		n   int
+		err error
+	}
+	pushed := make(chan outcome, 1)
+	go func() {
+		n, err := j.Push(specs)
+		pushed <- outcome{n, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the push wedge against the window
+	if err := coord.Evict("a"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-pushed:
+		if out.err == nil {
+			t.Errorf("push of %d tasks returned no error after total node loss", out.n)
+		}
+		if out.n == len(specs) {
+			t.Error("push claims every task was accepted despite the dead cluster")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("push still blocked after every node died")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never finished after losing its only node")
+	}
+}
+
+func TestClusterPlacementUnavailable(t *testing.T) {
+	// No coordinator at all: placement must be refused as unavailable, not
+	// silently run locally.
+	s := service.New(service.Config{Workers: 2})
+	if _, err := s.Submit("j", service.JobSpec{Placement: service.PlacementCluster}); !errors.Is(err, service.ErrNoCluster) {
+		t.Errorf("no-coordinator err = %v, want ErrNoCluster", err)
+	}
+
+	// A coordinator with no live nodes is just as unavailable.
+	coord := cluster.NewCoordinator(cluster.Config{})
+	defer coord.Close()
+	s2 := service.New(service.Config{Workers: 2, Cluster: coord})
+	if _, err := s2.Submit("j", service.JobSpec{Placement: service.PlacementCluster}); !errors.Is(err, service.ErrNoCluster) {
+		t.Errorf("no-nodes err = %v, want ErrNoCluster", err)
+	}
+
+	// And a bogus placement is a validation error.
+	if _, err := s2.Submit("j", service.JobSpec{Placement: "mars"}); !errors.Is(err, service.ErrInvalid) {
+		t.Errorf("bad placement err = %v, want ErrInvalid", err)
+	}
+}

@@ -116,6 +116,34 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, s.Metrics().Render())
+		if c := s.Cluster(); c != nil {
+			io.WriteString(w, c.Metrics().Render())
+		}
+	})
+
+	// Node administration: inspect the cluster's worker registrations and
+	// evict a node (its outstanding work fails over to the survivors).
+	mux.HandleFunc("GET /api/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		c := s.Cluster()
+		if c == nil {
+			writeError(w, http.StatusNotFound, errors.New("cluster disabled (start graspd with -cluster-listen)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"nodes": c.Nodes()})
+	})
+
+	mux.HandleFunc("DELETE /api/v1/nodes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c := s.Cluster()
+		if c == nil {
+			writeError(w, http.StatusNotFound, errors.New("cluster disabled (start graspd with -cluster-listen)"))
+			return
+		}
+		id := r.PathValue("id")
+		if err := c.Evict(id); err != nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no live node %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"evicted": id})
 	})
 
 	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -137,6 +165,8 @@ func NewHandler(s *Service) http.Handler {
 				status = http.StatusConflict
 			case errors.Is(err, ErrInvalid):
 				status = http.StatusBadRequest
+			case errors.Is(err, ErrNoCluster):
+				status = http.StatusServiceUnavailable
 			}
 			writeError(w, status, err)
 			return

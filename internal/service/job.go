@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"grasp/internal/cluster"
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
@@ -18,6 +19,14 @@ const (
 	maxCostFactor = 8
 )
 
+// Placements a job may declare. Per the paper's portability claim the
+// semantics are identical: the same skeleton, the same adaptive engine,
+// the same endpoints — only the execution substrate changes.
+const (
+	PlacementLocal   = "local"
+	PlacementCluster = "cluster"
+)
+
 // JobSpec are the per-job knobs a submitter may set.
 type JobSpec struct {
 	// Skeleton selects the dispatch topology: "farm" (default), "pipeline",
@@ -25,6 +34,10 @@ type JobSpec struct {
 	// calibration ranking, one admission window, one detector rule, the
 	// same cursor endpoints.
 	Skeleton string `json:"skeleton,omitempty"`
+	// Placement selects the execution substrate: "local" (default) runs on
+	// the daemon's own worker slots; "cluster" dispatches to the remote
+	// graspworker processes live at submission time.
+	Placement string `json:"placement,omitempty"`
 	// Window is the job's bounded in-flight window (default the service's
 	// DefaultWindow).
 	Window int `json:"window,omitempty"`
@@ -70,7 +83,7 @@ func (js JobSpec) withDefaults(cfg Config) JobSpec {
 		js.WarmupTasks = cfg.WarmupTasks
 	}
 	if js.MaxResults <= 0 {
-		js.MaxResults = 100_000
+		js.MaxResults = cfg.MaxResults
 	}
 	if js.MaxResults > 1_000_000 {
 		js.MaxResults = 1_000_000
@@ -96,6 +109,11 @@ func (js JobSpec) Validate() error {
 	}
 	if !adapt.Known(js.Skeleton) {
 		return fmt.Errorf("unknown skeleton %q (have %v)", js.Skeleton, adapt.Names())
+	}
+	switch js.Placement {
+	case "", PlacementLocal, PlacementCluster:
+	default:
+		return fmt.Errorf("unknown placement %q (have local, cluster)", js.Placement)
 	}
 	switch js.Skeleton {
 	case adapt.Pipeline:
@@ -136,6 +154,14 @@ func (js JobSpec) skeleton() string {
 	return js.Skeleton
 }
 
+// placement names the job's execution substrate for statuses and metrics.
+func (js JobSpec) placement() string {
+	if js.Placement == "" {
+		return PlacementLocal
+	}
+	return js.Placement
+}
+
 // TaskSpec is one unit of submitted work in wire form. SleepUS models
 // IO-bound work (the closure sleeps), Spin models CPU-bound work (a busy
 // loop); both may be combined. The closure returns the task ID.
@@ -154,25 +180,28 @@ func (ts TaskSpec) task() platform.Task {
 		cost = 1
 	}
 	return platform.Task{ID: ts.ID, Cost: cost, Data: ts, Fn: func() any {
-		if ts.SleepUS > 0 {
-			time.Sleep(time.Duration(ts.SleepUS) * time.Microsecond)
-		}
-		if ts.Spin > 0 {
-			x := 1.0
-			for i := int64(0); i < ts.Spin; i++ {
-				x += x * 1e-9
-			}
-			_ = x
-		}
+		// cluster.ExecWork is the one sleep+spin kernel, shared with remote
+		// nodes so the two placements measure the same computation.
+		cluster.ExecWork(ts.ClusterWork())
 		return ts.ID
 	}}
 }
 
-// TaskResult is one completed task in wire form.
+// ClusterWork implements cluster.WorkCarrier: the same sleep/spin
+// parameters execute on a remote node that the closure above executes
+// locally, which is what makes local and cluster placements semantically
+// identical.
+func (ts TaskSpec) ClusterWork() cluster.Work {
+	return cluster.Work{Cost: ts.Cost, SleepUS: ts.SleepUS, Spin: ts.Spin}
+}
+
+// TaskResult is one completed task in wire form. Node names the cluster
+// node that executed the task (empty for local placement).
 type TaskResult struct {
-	ID     int   `json:"id"`
-	Worker int   `json:"worker"`
-	Micros int64 `json:"micros"`
+	ID     int    `json:"id"`
+	Worker int    `json:"worker"`
+	Micros int64  `json:"micros"`
+	Node   string `json:"node,omitempty"`
 }
 
 // Job states.
@@ -186,6 +215,7 @@ const (
 type JobStatus struct {
 	Name           string `json:"name"`
 	Skeleton       string `json:"skeleton"`
+	Placement      string `json:"placement"`
 	State          string `json:"state"`
 	Submitted      int    `json:"submitted"`
 	Completed      int    `json:"completed"`
@@ -197,15 +227,26 @@ type JobStatus struct {
 	Failures       int    `json:"failures"`
 	MaxInFlight    int    `json:"max_in_flight"`
 	MakespanMicros int64  `json:"makespan_micros"`
+	// Lost counts accepted tasks that will never execute because the job's
+	// run ended without them (every cluster node died mid-stream). Zero for
+	// any job whose substrate survived.
+	Lost int `json:"lost,omitempty"`
+	// Nodes tallies a cluster job's executions per worker node (absent for
+	// local placement).
+	Nodes []cluster.NodeCount `json:"nodes,omitempty"`
 }
 
 // Job is one named streaming workload multiplexed onto the service. Its
 // skeleton is opaque here: the job only ever touches the engine contract
 // (the control channel, the breach hook, per-result callbacks).
 type Job struct {
-	name    string
-	svc     *Service
-	spec    JobSpec
+	name string
+	svc  *Service
+	spec JobSpec
+	// pf is the job's execution platform; pool is its cluster view when the
+	// placement is remote (nil for local jobs). Both are fixed at submission.
+	pf      platform.Platform
+	pool    *cluster.Pool
 	in      rt.Chan
 	control rt.Chan
 	// det is constructed by the service and then owned by the skeleton's
@@ -222,6 +263,7 @@ type Job struct {
 	state          string
 	submitted      int
 	completed      int
+	lost           int
 	breaches       int
 	recalibrations int
 	zMicros        int64
@@ -241,7 +283,11 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Push submits tasks to the job, blocking under backpressure (the
 // engine's in-flight window plus the input buffer are both bounded). It
-// returns how many tasks were accepted.
+// returns how many tasks were accepted. A job whose run finishes while a
+// push is blocked — every cluster node died and the engine abandoned the
+// stream — unblocks with an error instead of hanging the submitter: the
+// runner no longer drains the input, so a plain channel send would never
+// return.
 func (j *Job) Push(specs []TaskSpec) (int, error) {
 	j.sendMu.Lock()
 	defer j.sendMu.Unlock()
@@ -252,11 +298,58 @@ func (j *Job) Push(specs []TaskSpec) (int, error) {
 	}
 	j.submitted += len(specs)
 	j.mu.Unlock()
-	for _, ts := range specs {
-		j.in.Send(nil, ts.task()) // local channels ignore the ctx
+	accepted := 0
+	var pushErr error
+	if j.pool == nil {
+		// Local placement: the platform's workers cannot all die, so the
+		// runner provably drains the input until close — the plain blocking
+		// send parks the goroutine for free under backpressure.
+		for _, ts := range specs {
+			j.in.Send(nil, ts.task()) // local channels ignore the ctx
+			accepted++
+		}
+	} else {
+		// Cluster placement: check for a finished job before every send, not
+		// only when the buffer is full — after the runner abandons the stream
+		// (all nodes dead) nothing drains j.in, so a send into remaining
+		// buffer space would be accepted and silently lost. A task can still
+		// slip in during the instant between check and send, but the loss
+		// window is one task, not a buffer's worth.
+		finished := func() bool {
+			select {
+			case <-j.done:
+				return true
+			default:
+				return false
+			}
+		}
+	send:
+		for _, ts := range specs {
+			t := ts.task()
+			for {
+				if finished() {
+					pushErr = fmt.Errorf("service: job %q finished mid-push (workers lost); %d of %d tasks accepted",
+						j.name, accepted, len(specs))
+					break send
+				}
+				if j.in.TrySend(nil, t) {
+					break
+				}
+				// Cluster tasks are at least network-round-trip grained, so a
+				// millisecond poll costs nothing relative to the work while
+				// keeping the all-nodes-dead wakeup bounded.
+				time.Sleep(time.Millisecond)
+			}
+			accepted++
+		}
 	}
-	j.svc.reg.Counter("service_tasks_submitted_total").Add(int64(len(specs)))
-	return len(specs), nil
+	if accepted < len(specs) {
+		j.mu.Lock()
+		j.submitted -= len(specs) - accepted
+		j.mu.Unlock()
+	}
+	j.svc.reg.Counter("service_tasks_submitted_total").Add(int64(accepted))
+	return accepted, pushErr
 }
 
 // CloseInput ends submission; the job drains its in-flight tasks and then
@@ -313,12 +406,17 @@ func capWork(v, max int64) int64 {
 // toward the live threshold installation.
 func (j *Job) onResult(res platform.Result) {
 	j.svc.reg.Counter("service_tasks_completed_total").Inc()
+	node := ""
+	if j.pool != nil {
+		node = j.pool.NodeName(res.Worker)
+	}
 	j.mu.Lock()
 	j.completed++
 	j.results = append(j.results, TaskResult{
 		ID:     res.Task.ID,
 		Worker: res.Worker,
 		Micros: res.Time.Microseconds(),
+		Node:   node,
 	})
 	// Enforce the retention bound with slack so the copy amortises: trim
 	// back to MaxResults once the overshoot reaches a quarter of it.
@@ -363,13 +461,30 @@ func (j *Job) onRecalibrate(engine.Breach) (engine.Update, bool) {
 	return engine.Update{}, false
 }
 
-// finish stores the final report and marks the job done.
+// finish stores the final report and marks the job done. The runner no
+// longer drains the input after it returns, so anything still buffered
+// there was accepted by a Push but will never execute: drain and count it
+// as lost — together with the engine's Remaining — rather than leaving
+// submitted > completed unexplained forever. Push checks j.done before
+// every send, so after this drain at most one racing task can slip
+// through unaccounted.
 func (j *Job) finish(rep engine.StreamReport) {
 	j.mu.Lock()
 	j.rep = rep
 	j.state = JobDone
 	j.mu.Unlock()
 	close(j.done)
+	lost := len(rep.Remaining)
+	for {
+		_, ok, polled := j.in.TryRecv(nil)
+		if !polled || !ok {
+			break
+		}
+		lost++
+	}
+	j.mu.Lock()
+	j.lost = lost
+	j.mu.Unlock()
 }
 
 // Status snapshots the job.
@@ -379,6 +494,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		Name:           j.name,
 		Skeleton:       j.spec.skeleton(),
+		Placement:      j.spec.placement(),
 		State:          j.state,
 		Submitted:      j.submitted,
 		Completed:      j.completed,
@@ -392,10 +508,14 @@ func (j *Job) Status() JobStatus {
 		st.Failures = j.rep.Failures
 		st.MaxInFlight = j.rep.MaxInFlight
 		st.MakespanMicros = j.rep.Makespan.Microseconds()
+		st.Lost = j.lost
 		// Breaches/Recalibrations stay the job's own breach-driven counts:
 		// the engine report additionally counts control updates (the warm-up
 		// threshold install), which would make the numbers jump at
 		// completion for jobs that never adapted.
+	}
+	if j.pool != nil {
+		st.Nodes = j.pool.NodeCounts()
 	}
 	return st
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"grasp/internal/calibrate"
+	"grasp/internal/cluster"
 	"grasp/internal/metrics"
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
@@ -55,6 +56,14 @@ type Config struct {
 	// ProbeSpin is the busy-loop iteration count of a calibration probe
 	// (default 50000).
 	ProbeSpin int
+	// MaxResults is the default per-job result-retention bound when a job
+	// does not set its own (default 100000, capped at 1000000). This is the
+	// knob that keeps a long-lived daemon's memory finite.
+	MaxResults int
+	// Cluster, when non-nil, lets jobs declare `placement: cluster`: their
+	// tasks execute on remote graspworker processes registered with this
+	// coordinator instead of the local platform.
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +84,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeSpin <= 0 {
 		c.ProbeSpin = 50000
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 100_000
+	}
+	if c.MaxResults > 1_000_000 {
+		c.MaxResults = 1_000_000
 	}
 	return c
 }
@@ -123,11 +138,8 @@ func (s *Service) calibration() (calibrate.Ranking, error) {
 		first = true
 		spin := s.cfg.ProbeSpin
 		probe := platform.Task{ID: -1, Cost: float64(spin), Fn: func() any {
-			x := 1.0
-			for i := 0; i < spin; i++ {
-				x += x * 1e-9
-			}
-			return x
+			cluster.Spin(int64(spin)) // the shared spin kernel: see cluster.Spin
+			return spin
 		}}
 		done := make(chan struct{})
 		s.l.Go("service.calibrate", func(c rt.Ctx) {
@@ -157,7 +169,51 @@ var (
 	ErrJobExists = errors.New("job already exists")
 	// ErrInvalid reports a malformed submission.
 	ErrInvalid = errors.New("invalid request")
+	// ErrNoCluster reports a cluster placement the service cannot satisfy:
+	// no coordinator configured, or no live worker nodes.
+	ErrNoCluster = errors.New("cluster placement unavailable")
 )
+
+// Cluster returns the coordinator serving `placement: cluster` jobs (nil
+// when the daemon runs without one).
+func (s *Service) Cluster() *cluster.Coordinator { return s.cfg.Cluster }
+
+// clusterPlatform snapshots the live worker nodes into a per-job platform
+// plus dispatch weights. The weights come from Algorithm 1's ranking step
+// applied to the register-time benchmark samples: each node's reported
+// speed becomes a predicted probe time, so a node twice as fast starts
+// with twice the dispatch share — per-node calibration without a probe
+// round trip. Round-trip observations then reweight live via the engine.
+func (s *Service) clusterPlatform() (*cluster.Pool, []int, map[int]float64, error) {
+	coord := s.cfg.Cluster
+	if coord == nil {
+		return nil, nil, nil, fmt.Errorf("service: no cluster coordinator: %w", ErrNoCluster)
+	}
+	nodes := coord.Live()
+	if len(nodes) == 0 {
+		return nil, nil, nil, fmt.Errorf("service: no live worker nodes: %w", ErrNoCluster)
+	}
+	pool := cluster.NewPool(coord, s.l, nodes)
+	members := pool.Members() // one worker index per node execution slot
+	workers := make([]int, len(members))
+	samples := make([]calibrate.Sample, len(members))
+	const refOps = 1e6 // nominal probe size; only ratios matter for weights
+	for i, m := range members {
+		workers[i] = i
+		speed := m.SpeedOPS
+		if speed <= 0 {
+			speed = 1
+		}
+		samples[i] = calibrate.Sample{
+			Worker:    i,
+			Time:      time.Duration(refOps / speed * float64(time.Second)),
+			ProbeCost: refOps,
+		}
+	}
+	ranking := calibrate.Rank(samples, calibrate.TimeOnly)
+	s.reg.Counter("service_cluster_calibrations_total").Inc()
+	return pool, workers, ranking.Weights(workers), nil
+}
 
 // Submit registers a new named job and starts its skeleton's engine
 // runner. The name must be unused.
@@ -168,28 +224,62 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("service: job %q: %v: %w", name, err, ErrInvalid)
 	}
-	ranking, err := s.calibration()
-	if err != nil {
-		return nil, fmt.Errorf("service: calibration: %w", err)
-	}
 
+	// Resolve the placement to a platform, worker set, and initial weights:
+	// the local platform calibrated by spin probes, or a per-job snapshot of
+	// the cluster's live nodes weighted by their register-time benchmarks.
+	// Everything downstream is placement-agnostic.
+	explicitWindow := spec.Window > 0
 	spec = spec.withDefaults(s.cfg)
-	workers := make([]int, s.cfg.Workers)
-	for i := range workers {
-		workers[i] = i
+	var (
+		pf      platform.Platform = s.pf
+		pool    *cluster.Pool
+		workers []int
+		weights map[int]float64
+	)
+	if spec.placement() == PlacementCluster {
+		var err error
+		pool, workers, weights, err = s.clusterPlatform()
+		if err != nil {
+			return nil, fmt.Errorf("service: job %q: %w", name, err)
+		}
+		pf = pool
+		// The service default window is sized to the local worker slots; a
+		// cluster usually has far more execution slots than that, so an
+		// unspecified window grows to cover them — never shrinking below the
+		// local default, which still bounds tiny clusters sensibly.
+		if w := 2 * pool.TotalCapacity(); !explicitWindow && w > spec.Window {
+			spec.Window = w
+		}
+	} else {
+		ranking, err := s.calibration()
+		if err != nil {
+			return nil, fmt.Errorf("service: calibration: %w", err)
+		}
+		workers = make([]int, s.cfg.Workers)
+		for i := range workers {
+			workers[i] = i
+		}
+		weights = ranking.Weights(workers)
 	}
 	j := &Job{
 		name:    name,
 		svc:     s,
 		spec:    spec,
+		pf:      pf,
+		pool:    pool,
 		in:      s.l.NewChan("service.in."+name, spec.Window),
 		control: s.l.NewChan("service.control."+name, 4),
 		det: &monitor.Detector{
 			// Z starts disabled; the warm-up installs it via the control
-			// channel once the job's own task times are known.
+			// channel once the job's own task times are known. The rule's
+			// observation window covers the job's actual worker set — for a
+			// cluster job that is the pool's slot count, not the daemon's
+			// local workers: a breach should summarise one round over the
+			// whole substrate, not two samples out of forty slots.
 			Rule:       monitor.RuleMinOver,
-			Window:     s.cfg.Workers,
-			MinSamples: s.cfg.Workers,
+			Window:     len(workers),
+			MinSamples: len(workers),
 		},
 		state: JobAccepting,
 		done:  make(chan struct{}),
@@ -221,13 +311,14 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 
 	s.reg.Counter("service_jobs_total").Inc()
 	s.reg.Counter("service_jobs_" + spec.skeleton() + "_total").Inc()
+	s.reg.Counter("service_jobs_placement_" + spec.placement() + "_total").Inc()
 	s.reg.Gauge("service_jobs_active").Add(1)
 
 	s.l.Go("service.job."+name, func(c rt.Ctx) {
-		rep := run(s.pf, c, j.in, engine.StreamOptions{
+		rep := run(pf, c, j.in, engine.StreamOptions{
 			Workers:       workers,
 			Window:        spec.Window,
-			Weights:       ranking.Weights(workers),
+			Weights:       weights,
 			Detector:      j.det,
 			Control:       j.control,
 			OnResult:      j.onResult,
