@@ -1,7 +1,8 @@
-// Benchmarks: one per experiment exhibit (see DESIGN.md §4). Each
-// benchmark regenerates the experiment's table under the timer and reports
-// its headline shape metric via b.ReportMetric, so `go test -bench=.`
-// reproduces the paper-shaped results alongside wall-clock cost.
+// Benchmarks: one per experiment exhibit (the E-matrix indexed in the
+// generated DESIGN.md; regenerate it and EXPERIMENTS.md with `go generate
+// .`). Each benchmark regenerates the experiment's table under the timer
+// and reports its headline shape metric via b.ReportMetric, so `go test
+// -bench=.` reproduces the paper-shaped results alongside wall-clock cost.
 //
 // Micro-benchmarks for the substrates (simulation kernel, channels,
 // calibration maths, farm dispatch) follow, quantifying the harness itself.
@@ -64,6 +65,14 @@ func BenchmarkE16DivideConquer(b *testing.B)  { benchExperiment(b, "E16") }
 func BenchmarkE17Migration(b *testing.B)      { benchExperiment(b, "E17") }
 func BenchmarkE18MultiSite(b *testing.B)      { benchExperiment(b, "E18") }
 func BenchmarkE19Proactive(b *testing.B)      { benchExperiment(b, "E19") }
+
+// E20–E23 execute on the modern stack (service layer, daemon HTTP API,
+// in-process cluster) in real time, so these track the reproduction
+// harness's own serving-path cost.
+func BenchmarkE20ServiceStream(b *testing.B)   { benchExperiment(b, "E20") }
+func BenchmarkE21DaemonHTTP(b *testing.B)      { benchExperiment(b, "E21") }
+func BenchmarkE22ClusterNodeLoss(b *testing.B) { benchExperiment(b, "E22") }
+func BenchmarkE23Portability(b *testing.B)     { benchExperiment(b, "E23") }
 
 // BenchmarkVsimContextSwitch measures the kernel's run-to-block handoff:
 // two processes ping-pong over an unbuffered channel.

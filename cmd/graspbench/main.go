@@ -1,14 +1,20 @@
-// Command graspbench regenerates the paper-shaped experiment tables
-// (E1–E16 in DESIGN.md). It is the source of EXPERIMENTS.md: every table
-// printed here corresponds to one exhibit of the paper's evaluation, and
-// each experiment carries shape checks that are verified after the run.
+// Command graspbench regenerates the paper-shaped experiment tables (the
+// E-matrix indexed in the generated DESIGN.md). It is the source of the
+// generated reproduction report: every table printed here corresponds to
+// one exhibit of the paper's evaluation, each experiment carries shape
+// checks that are verified after the run, and -write-docs rewrites
+// EXPERIMENTS.md and DESIGN.md from the current code and results.
 //
 // Usage:
 //
 //	graspbench                 run every experiment
 //	graspbench -experiment E3  run one experiment
 //	graspbench -seed 7         change the stochastic seed
-//	graspbench -list           list experiment IDs and titles
+//	graspbench -list           list experiment IDs, placements, and titles
+//	graspbench -write-docs     run the E-matrix and regenerate
+//	                           EXPERIMENTS.md and DESIGN.md in the module
+//	                           root (deterministic; wired to `go generate .`
+//	                           and CI's docs-drift gate)
 //	graspbench -json FILE      bench every streaming skeleton and write a
 //	                           machine-readable BENCH_*.json record
 //	                           (throughput, makespan, breach/recalibration
@@ -32,6 +38,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		quiet    = flag.Bool("quiet", false, "print only check failures")
 		jsonPath = flag.String("json", "", "bench the streaming skeletons and write machine-readable results to this path")
+		docs     = flag.Bool("write-docs", false, "run the E-matrix and regenerate EXPERIMENTS.md and DESIGN.md in the module root")
 	)
 	flag.Parse()
 
@@ -43,9 +50,30 @@ func main() {
 		return
 	}
 
+	if *docs {
+		root, err := findRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graspbench: %v\n", err)
+			os.Exit(1)
+		}
+		failures, err := writeDocs(root, *seed, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graspbench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s and %s\n", "EXPERIMENTS.md", "DESIGN.md")
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "graspbench: %d shape check(s) failed (see EXPERIMENTS.md)\n", failures)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list {
 		for _, r := range experiments.All() {
-			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+			fmt.Printf("%-4s %-8s %s\n", r.ID, r.Placement, r.Title)
 		}
 		return
 	}

@@ -3,10 +3,15 @@
 // methodology for self-adaptive algorithmic-skeleton programs on
 // non-dedicated heterogeneous platforms.
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), the runnable examples under examples/, and the experiment
-// CLIs under cmd/. The root-level bench_test.go regenerates every
-// experiment table as a testing.B benchmark.
+// The implementation lives under internal/, the runnable examples under
+// examples/ (indexed in examples/README.md), and the experiment CLIs under
+// cmd/. Two documents are generated from this code and checked against it
+// in CI: DESIGN.md (the system inventory, assembled from the per-package
+// doc comments plus the experiment index) and EXPERIMENTS.md (every
+// experiment's table and shape-check outcomes, executed on its declared
+// substrate). Regenerate both with `go generate .` — equivalently `go run
+// ./cmd/graspbench -write-docs`. The root-level bench_test.go additionally
+// regenerates every experiment table as a testing.B benchmark.
 //
 // # The adaptive engine
 //
@@ -84,3 +89,5 @@
 // execution tallies in cluster job statuses, and cluster gauges in
 // /metrics. See README.md's cluster quickstart.
 package grasp
+
+//go:generate go run ./cmd/graspbench -write-docs

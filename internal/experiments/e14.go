@@ -98,3 +98,7 @@ func E14Reduce(seed int64) Result {
 	table.AddNote("combine cost 0.5s on a mean node; payload 100 kB/step; speed CV 0.8")
 	return Result{ID: "E14", Title: "Reduction topologies", Table: table, Checks: checks}
 }
+
+// runnerE14 registers E14 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE14 = Runner{ID: "E14", Title: "Reduction topologies on a heterogeneous grid", Placement: PlaceVSim, Run: E14Reduce}

@@ -149,3 +149,7 @@ func E18MultiSite(seed int64) Result {
 	table.AddNote("16 equal nodes, half behind a 2 MB/s shared gateway; fraction-0.9 selection")
 	return Result{ID: "E18", Title: "Multi-site co-allocation", Table: table, Checks: checks}
 }
+
+// runnerE18 registers E18 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE18 = Runner{ID: "E18", Title: "Multi-site co-allocation by communication/computation ratio", Placement: PlaceVSim, Run: E18MultiSite}

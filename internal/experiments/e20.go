@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"grasp/internal/report"
+	"grasp/internal/service"
+)
+
+// E20ServiceStream drives the streaming service layer itself — the modern
+// stack's first floor — instead of the simulator: two concurrent farm jobs
+// multiplexed onto one service, one with a steady task stream and one
+// whose stream slows sharply mid-flight.
+//
+// Expected shape: both jobs drain exactly-once under a bounded in-flight
+// window (backpressure reaches the submitter), the shifted job's warm-up
+// installs a live threshold, and the mid-stream slowdown breaches the
+// detector and re-calibrates the farm in place without draining, losing,
+// or duplicating tasks — Algorithm 2's feedback loop running on the real
+// runtime under continuous traffic.
+func E20ServiceStream(seed int64) Result {
+	_ = seed // real-time placement: shapes must hold on any healthy machine
+	const (
+		window  = 5
+		steadyN = 40
+		fastN   = 30
+		slowN   = 30
+		fastUS  = 100
+		// The slow phase must dwarf Z = factor × warm-up mean even when
+		// warm-up times are inflated by race-detector or CI scheduler
+		// overhead, or the breach shape would flake.
+		slowUS = 30_000
+	)
+	s := service.New(service.Config{
+		Workers:         4,
+		DefaultWindow:   window,
+		WarmupTasks:     4,
+		ThresholdFactor: 3,
+	})
+
+	table := report.NewTable("E20 — streaming farm jobs through the service layer",
+		"job", "skeleton", "placement", "tasks", "completed", "lost",
+		"exactly-once", "backpressure", "breached", "recalibrated")
+	var checks []Check
+
+	steady, err := s.Submit("steady", service.JobSpec{})
+	if err != nil {
+		panic(err)
+	}
+	shifted, err := s.Submit("shifted", service.JobSpec{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Steady traffic: uniform fast tasks, nothing to adapt to.
+	steady.Push(sleepSpecs(0, steadyN, fastUS))
+	steady.CloseInput()
+
+	// Shifted traffic: a fast warm-up body, then the stream slows 300×
+	// mid-flight — the breach the warmed-up detector must catch live.
+	shifted.Push(sleepSpecs(0, fastN, fastUS))
+	shifted.Push(sleepSpecs(fastN, slowN, slowUS))
+	shifted.CloseInput()
+
+	steadyDone := waitJob(steady, modernTimeout)
+	shiftedDone := waitJob(shifted, modernTimeout)
+
+	steadySt, shiftedSt := steady.Status(), shifted.Status()
+	steadyResults, _ := steady.Results(0)
+	shiftedResults, _ := shifted.Results(0)
+	steadyOnce := exactlyOnce(steadyResults, 0, steadyN)
+	shiftedOnce := exactlyOnce(shiftedResults, 0, fastN+slowN)
+	backpressure := shiftedSt.MaxInFlight >= 1 && shiftedSt.MaxInFlight <= window
+	adapted := shiftedSt.Breaches >= 1 && shiftedSt.Recalibrations >= 1
+
+	table.AddRow("steady", steadySt.Skeleton, steadySt.Placement,
+		steadySt.Submitted, steadySt.Completed, steadySt.Lost,
+		yesNo(steadyOnce), "-", "-", "-")
+	table.AddRow("shifted", shiftedSt.Skeleton, shiftedSt.Placement,
+		shiftedSt.Submitted, shiftedSt.Completed, shiftedSt.Lost,
+		yesNo(shiftedOnce), yesNo(backpressure), yesNo(shiftedSt.Breaches >= 1),
+		yesNo(shiftedSt.Recalibrations >= 1))
+	table.AddNote("the shifted stream slows %d× mid-flight; window %d over %d workers",
+		slowUS/fastUS, window, s.Workers())
+
+	checks = append(checks,
+		check("steady-drains", steadyDone && steadySt.Completed == steadyN && steadySt.Submitted == steadyN,
+			"done=%v completed=%d of %d", steadyDone, steadySt.Completed, steadyN),
+		check("steady-exactly-once", steadyOnce, "%d results", len(steadyResults)),
+		check("shifted-drains", shiftedDone && shiftedSt.Completed == fastN+slowN && shiftedSt.Submitted == fastN+slowN,
+			"done=%v completed=%d of %d", shiftedDone, shiftedSt.Completed, fastN+slowN),
+		check("shifted-exactly-once", shiftedOnce, "%d results", len(shiftedResults)),
+		check("backpressure-bounded", backpressure,
+			"max in-flight %d within window %d", shiftedSt.MaxInFlight, window),
+		check("threshold-installed-live", shiftedSt.ZMicros > 0,
+			"Z = %dµs from warm-up traffic", shiftedSt.ZMicros),
+		check("breach-recalibrates-in-place", adapted,
+			"breaches=%d recalibrations=%d", shiftedSt.Breaches, shiftedSt.Recalibrations),
+		check("nothing-lost", steadySt.Lost == 0 && shiftedSt.Lost == 0,
+			"lost: steady=%d shifted=%d", steadySt.Lost, shiftedSt.Lost),
+	)
+	return Result{ID: "E20", Title: "Streaming farm through the service layer", Table: table, Checks: checks}
+}
+
+// runnerE20 registers E20 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE20 = Runner{ID: "E20", Title: "Streaming farm breach-recalibration through the service layer", Placement: PlaceLocal, Run: E20ServiceStream}

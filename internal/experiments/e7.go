@@ -98,3 +98,7 @@ func E7Scalability(seed int64) Result {
 	table.AddNote("sequential reference = total cost on one idle node = %s", secs(seqTime))
 	return Result{ID: "E7", Title: "Scalability", Table: table, Checks: checks}
 }
+
+// runnerE7 registers E7 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE7 = Runner{ID: "E7", Title: "Scalability with node count", Placement: PlaceVSim, Run: E7Scalability}

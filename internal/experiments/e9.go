@@ -94,3 +94,7 @@ func E9CalibCost(seed int64) Result {
 			"overhead %.2f%% at %d tasks", fractions[len(fractions)-1]*100, sizes[len(sizes)-1]))
 	return Result{ID: "E9", Title: "Calibration amortisation", Table: table, Checks: checks}
 }
+
+// runnerE9 registers E9 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE9 = Runner{ID: "E9", Title: "Calibration cost amortisation", Placement: PlaceVSim, Run: E9CalibCost}

@@ -1,8 +1,9 @@
-// Package experiments contains one driver per experiment in DESIGN.md's
-// index (E1–E16). Each driver builds its grid and workload, runs the
-// adaptive system and its baselines, and returns a rendered table plus
-// machine-checkable shape assertions — the reproduction of the paper's
-// evaluation exhibits.
+// Package experiments contains one driver per experiment in the generated
+// reproduction report (EXPERIMENTS.md; regenerate with `go run
+// ./cmd/graspbench -write-docs`). Each driver builds its substrate and
+// workload, runs the adaptive system and its baselines, and returns a
+// rendered table plus machine-checkable shape assertions — the
+// reproduction of the paper's evaluation exhibits.
 //
 // The poster itself publishes a methodology figure and two algorithms
 // rather than numeric tables; the quantitative shapes tested here are the
@@ -11,6 +12,12 @@
 // pressure, statistical calibration beats raw times under noise, thresholds
 // trade stability against responsiveness, and calibration overhead
 // amortises.
+//
+// Every experiment declares a Placement — the execution substrate it
+// drives. E1–E19 run on the deterministic virtual-time grid simulator;
+// E20–E23 run the modern stack itself: the streaming service layer, the
+// daemon's HTTP API, and an in-process worker-node cluster speaking the
+// real coordinator protocol.
 package experiments
 
 import (
@@ -60,36 +67,47 @@ func check(name string, pass bool, detailFormat string, args ...any) Check {
 	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(detailFormat, args...)}
 }
 
+// Placement names the execution substrate an experiment drives.
+type Placement string
+
+// The three substrates an experiment can execute on.
+const (
+	// PlaceVSim is the deterministic virtual-time grid simulator
+	// (internal/vsim + internal/grid): stochastic inputs are seeded, time is
+	// virtual, and every run with the same seed is byte-identical.
+	PlaceVSim Placement = "vsim"
+	// PlaceLocal is the real goroutine runtime behind internal/service: the
+	// streaming multi-job layer (and, for E21, the daemon's HTTP API over
+	// it) running on actual wall-clock time.
+	PlaceLocal Placement = "local"
+	// PlaceCluster is an in-process cluster.Pool: a coordinator plus worker
+	// runtimes speaking the real HTTP worker-node protocol inside one
+	// process, behind the same service layer.
+	PlaceCluster Placement = "cluster"
+)
+
 // Runner is a named experiment entry point. Seed varies the stochastic
-// inputs; every run with the same seed is identical.
+// inputs; for the vsim placement every run with the same seed is
+// identical, while local/cluster runs assert shapes that hold on any
+// healthy machine.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(seed int64) Result
+	// Placement is the execution substrate the experiment drives; the
+	// generated report groups and labels experiments by it.
+	Placement Placement
+	Run       func(seed int64) Result
 }
 
-// All returns every experiment in index order.
+// All returns every experiment in index order. Each runnerEN value lives
+// next to its driver in eN.go — the registration seam every experiment
+// file owns.
 func All() []Runner {
 	return []Runner{
-		{"E1", "GRASP lifecycle (Fig. 1)", E1Lifecycle},
-		{"E2", "Calibration ranking quality (Alg. 1)", E2Calibration},
-		{"E3", "Adaptive vs static task farm under pressure (ref [6] shape)", E3FarmAdaptive},
-		{"E4", "Adaptive vs static pipeline (ref [7] shape)", E4PipeAdaptive},
-		{"E5", "Threshold Z sensitivity (Alg. 2)", E5Threshold},
-		{"E6", "Statistical vs time-only calibration (Alg. 1)", E6Ranking},
-		{"E7", "Scalability with node count", E7Scalability},
-		{"E8", "Heterogeneity and dispatch policy", E8Heterogeneity},
-		{"E9", "Calibration cost amortisation", E9CalibCost},
-		{"E10", "Ablation: chunk policy × workload", E10Ablation},
-		{"E11", "Ablation: threshold rule (min/mean/max over Z)", E11ThresholdRule},
-		{"E12", "Fault tolerance under node crashes", E12FaultTolerance},
-		{"E13", "Data-parallel map: decomposition, waves, dispatch traffic", E13Map},
-		{"E14", "Reduction topologies on a heterogeneous grid", E14Reduce},
-		{"E15", "Skeleton nesting: pipe-of-farms vs plain pipeline", E15Compose},
-		{"E16", "Divide-and-conquer grain sweep", E16DivideConquer},
-		{"E17", "Pool migration under a mid-stream demand shift", E17Migration},
-		{"E18", "Multi-site co-allocation by communication/computation ratio", E18MultiSite},
-		{"E19", "Reactive vs proactive adaptation under a load ramp", E19Proactive},
+		runnerE1, runnerE2, runnerE3, runnerE4, runnerE5, runnerE6,
+		runnerE7, runnerE8, runnerE9, runnerE10, runnerE11, runnerE12,
+		runnerE13, runnerE14, runnerE15, runnerE16, runnerE17, runnerE18,
+		runnerE19, runnerE20, runnerE21, runnerE22, runnerE23,
 	}
 }
 

@@ -59,8 +59,26 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Error("E99 should not exist")
 	}
-	if len(All()) != 19 {
-		t.Errorf("expected 19 experiments, have %d", len(All()))
+	if len(All()) != 23 {
+		t.Errorf("expected 23 experiments, have %d", len(All()))
+	}
+}
+
+func TestRunnersDeclarePlacements(t *testing.T) {
+	valid := map[Placement]bool{PlaceVSim: true, PlaceLocal: true, PlaceCluster: true}
+	modern := 0
+	for _, r := range All() {
+		if !valid[r.Placement] {
+			t.Errorf("%s: placement %q is not a known substrate", r.ID, r.Placement)
+		}
+		if r.Placement != PlaceVSim {
+			modern++
+		}
+	}
+	// The modern stack must stay exercised: at least one experiment each on
+	// the service layer and the in-process cluster.
+	if modern < 2 {
+		t.Errorf("only %d experiments leave the simulator", modern)
 	}
 }
 

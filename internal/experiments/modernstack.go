@@ -1,0 +1,125 @@
+package experiments
+
+// Shared plumbing for the modern-stack experiments (E20–E23): the ones
+// that execute on the layers built above the simulator — the streaming
+// service, the daemon's HTTP API, and the in-process worker-node cluster.
+// Unlike the vsim experiments these run in real time, so their tables and
+// checks are stated over deterministic quantities only (task counts,
+// exactly-once sets, yes/no adaptation shapes) — never wall-clock numbers,
+// which is what keeps the generated EXPERIMENTS.md byte-identical across
+// runs.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"grasp/internal/cluster"
+	"grasp/internal/service"
+)
+
+// modernTimeout bounds every wait in the modern-stack experiments: a run
+// that exceeds it fails its drain check instead of hanging the harness.
+const modernTimeout = 60 * time.Second
+
+// yesNo renders a boolean shape value for deterministic tables.
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// sleepSpecs builds n service tasks with IDs base..base+n-1, each sleeping
+// sleepUS microseconds (the IO-bound work model).
+func sleepSpecs(base, n int, sleepUS int64) []service.TaskSpec {
+	specs := make([]service.TaskSpec, n)
+	for i := range specs {
+		specs[i] = service.TaskSpec{ID: base + i, Cost: 1, SleepUS: sleepUS}
+	}
+	return specs
+}
+
+// waitJob blocks until the job drains; false on timeout.
+func waitJob(j *service.Job, timeout time.Duration) bool {
+	select {
+	case <-j.Done():
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// exactlyOnce reports whether results hold exactly the IDs base..base+n-1,
+// each once.
+func exactlyOnce(results []service.TaskResult, base, n int) bool {
+	if len(results) != n {
+		return false
+	}
+	seen := make(map[int]bool, n)
+	for _, r := range results {
+		if r.ID < base || r.ID >= base+n || seen[r.ID] {
+			return false
+		}
+		seen[r.ID] = true
+	}
+	return true
+}
+
+// clusterStack is an in-process worker-node cluster: a coordinator served
+// over real HTTP, n worker runtimes registered with it, and a service
+// fronting the lot — the smallest complete instance of the distributed
+// subsystem.
+type clusterStack struct {
+	Coord   *cluster.Coordinator
+	Svc     *service.Service
+	srv     *httptest.Server
+	workers []*cluster.Worker
+}
+
+// startClusterStack builds the coordinator, starts n workers with the
+// given per-node capacity, waits until all are live, and wires a service
+// over them. Callers must Close the stack.
+func startClusterStack(n, capacity int, svcCfg service.Config) (*clusterStack, error) {
+	coord := cluster.NewCoordinator(cluster.Config{
+		DeadAfter:    2 * time.Second,
+		MaxLeaseWait: 200 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	cs := &clusterStack{Coord: coord, srv: srv}
+	for i := 0; i < n; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: srv.URL,
+			ID:          fmt.Sprintf("node-%c", 'a'+i),
+			Capacity:    capacity,
+			BenchSpin:   10_000,
+			Heartbeat:   50 * time.Millisecond,
+			LeaseWait:   100 * time.Millisecond,
+		})
+		if err != nil {
+			cs.Close()
+			return nil, err
+		}
+		cs.workers = append(cs.workers, w)
+	}
+	deadline := time.Now().Add(modernTimeout)
+	for len(coord.Live()) < n {
+		if time.Now().After(deadline) {
+			cs.Close()
+			return nil, fmt.Errorf("only %d of %d nodes registered", len(coord.Live()), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	svcCfg.Cluster = coord
+	cs.Svc = service.New(svcCfg)
+	return cs, nil
+}
+
+// Close stops the workers, the HTTP server, and the coordinator.
+func (cs *clusterStack) Close() {
+	for _, w := range cs.workers {
+		w.Stop()
+	}
+	cs.srv.Close()
+	cs.Coord.Close()
+}

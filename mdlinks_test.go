@@ -1,0 +1,67 @@
+package grasp_test
+
+// TestMarkdownLinks is the link half of the docs gate: every relative
+// link target in the repo's markdown files — including the generated
+// DESIGN.md and EXPERIMENTS.md — must resolve to an existing file, so a
+// renamed or deleted document cannot leave dangling references behind.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); targets with a scheme are skipped below.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, entry fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if entry.IsDir() {
+			if name := entry.Name(); path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(entry.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found — is the test running from the repo root?")
+	}
+
+	checked := 0
+	for _, md := range mdFiles {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; CI does not reach the network
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure fragment link within the same file
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dangling link %q (resolved %s)", md, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
+}
