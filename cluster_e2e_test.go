@@ -305,28 +305,51 @@ func TestClusterE2EMultiProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	pushTasks(t, api, "farm", 40, 10, 10_000)
+
+	// Elastic membership: a third worker process registers while the farm
+	// job is mid-stream. The coordinator's node event feeds the running
+	// job's pool and engine membership, so the joiner must start executing
+	// this job's tasks without any restart.
+	worker("e2e-w3")
+	waitFor(t, 20*time.Second, "joiner executing mid-stream tasks", func() bool {
+		var st e2eStatus
+		httpJSON(t, "GET", api+"/api/v1/jobs/farm", nil, &st)
+		for _, nc := range st.Nodes {
+			if nc.Node == "e2e-w3" && nc.Completed >= 1 {
+				return true
+			}
+		}
+		return false
+	})
+	pushTasks(t, api, "farm", 50, 10, 10_000)
 	farmSeen := drainJob(t, api, "farm", 60*time.Second)
-	assertExactlyOnce(t, "farm", farmSeen, 50)
+	assertExactlyOnce(t, "farm", farmSeen, 60)
 
 	var farmStatus e2eStatus
 	httpJSON(t, "GET", api+"/api/v1/jobs/farm", nil, &farmStatus)
 	if farmStatus.Failures == 0 {
 		t.Error("farm: expected failed executions from the killed worker")
 	}
-	var victim, survivor bool
+	var victim, survivor, joiner bool
 	for _, nc := range farmStatus.Nodes {
 		switch nc.Node {
 		case "e2e-w2":
 			victim = nc.Completed >= 2 && nc.Failed > 0
 		case "e2e-w1":
 			survivor = nc.Completed > 0
+		case "e2e-w3":
+			joiner = nc.Completed > 0
 		}
 	}
 	if !victim || !survivor {
 		t.Errorf("farm per-node status = %+v: want the victim's completions+failures and the survivor's completions", farmStatus.Nodes)
 	}
+	if !joiner {
+		t.Errorf("farm per-node status = %+v: want completions from e2e-w3, which joined mid-stream", farmStatus.Nodes)
+	}
 
-	// The coordinator's view agrees: exactly one live node remains.
+	// The coordinator's view agrees: the survivor and the joiner are live,
+	// the victim dead.
 	waitFor(t, 5*time.Second, "dead node listed", func() bool {
 		live, dead := 0, 0
 		for _, n := range pollNodes(t, api) {
@@ -337,7 +360,7 @@ func TestClusterE2EMultiProcess(t *testing.T) {
 				dead++
 			}
 		}
-		return live == 1 && dead == 1
+		return live == 2 && dead == 1
 	})
 }
 

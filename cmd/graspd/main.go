@@ -32,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +48,22 @@ func newDaemon(cfg service.Config) (http.Handler, *service.Service) {
 	return service.NewHandler(s), s
 }
 
+// parseShares parses the -shares list ("1,3" → {1, 3}).
+func parseShares(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-shares: %q is not a positive number", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
@@ -55,6 +72,7 @@ func main() {
 		warmup        = flag.Int("warmup", 0, "completions before a job's threshold is set (0 = 2×workers)")
 		factor        = flag.Float64("threshold", 4, "Z = factor × warm-up mean task time")
 		maxResults    = flag.Int("max-results", 0, "default per-job result-retention bound (0 = 100000)")
+		defaultShare  = flag.Float64("default-share", 1, "fair-share weight for jobs that omit `share`")
 		clusterListen = flag.String("cluster-listen", "", "serve the worker-node protocol on this address (empty = cluster disabled)")
 		deadAfter     = flag.Duration("dead-after", 3*time.Second, "cluster: declare a silent worker node dead after this long")
 		drive         = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
@@ -67,10 +85,15 @@ func main() {
 		stages        = flag.Int("stages", 3, "drive: stage count for pipeline jobs")
 		waveSize      = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
 		placement     = flag.String("placement", "", "drive: job placement (local, cluster)")
+		shares        = flag.String("shares", "", "drive: comma-separated fair-share weights cycled across jobs (e.g. 1,3)")
 	)
 	flag.Parse()
 
 	if *drive != "" {
+		shareList, err := parseShares(*shares)
+		if err != nil {
+			log.Fatal(err)
+		}
 		summary := loadgen.Driver{
 			BaseURL:        *drive,
 			Jobs:           *jobs,
@@ -83,6 +106,7 @@ func main() {
 			PipelineStages: *stages,
 			WaveSize:       *waveSize,
 			Placement:      *placement,
+			Shares:         shareList,
 		}.Run()
 		fmt.Printf("drove %d jobs, %d/%d tasks completed in %v\n",
 			len(summary.Jobs), summary.Completed, summary.Tasks, summary.Elapsed.Round(time.Millisecond))
@@ -105,6 +129,7 @@ func main() {
 		WarmupTasks:     *warmup,
 		ThresholdFactor: *factor,
 		MaxResults:      *maxResults,
+		DefaultShare:    *defaultShare,
 	}
 	if *clusterListen != "" {
 		coord := cluster.NewCoordinator(cluster.Config{

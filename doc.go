@@ -19,10 +19,13 @@
 // structured-parallelism skeleton — is realised as skel/engine, the
 // skeleton-agnostic execution contract: calibrated weights in, detector
 // breach events and per-worker observed times out, a recalibrate hook,
-// streaming ingestion behind a bounded admission-credit window, and
-// failure/retire handling. A streaming skeleton is an engine.Runner; the
-// skeleton packages contribute only their dispatch topologies and
-// structural adaptation levers:
+// streaming ingestion behind a bounded admission-credit window,
+// failure/retire handling, and an elastic worker membership — the worker
+// set is a live, versioned view that control updates grow and shrink
+// mid-stream (a crash retire being the remove path's special case). A
+// streaming skeleton is an engine.Runner; the skeleton packages
+// contribute only their dispatch topologies and structural adaptation
+// levers, each of which doubles as its grow/shrink lever:
 //
 //   - skel/farm: demand-driven chunk pulls; breaches re-weight dispatch
 //     shares by inverse recent mean time (stop-and-return in batch mode).
@@ -54,6 +57,12 @@
 //     the one ranking to every skeleton type, deriving each job's
 //     threshold from its own warm-up completions, and exporting
 //     operational counters (metrics.Registry).
+//   - alloc partitions the platform's worker slots among the live jobs by
+//     their fair-share weights (the per-job `share` knob): every slot is
+//     always owned by some job (work-conserving — a lone job gets the
+//     whole platform, a finishing job's slots flow to the survivors), and
+//     rebalances reach running skeletons as engine membership deltas with
+//     weights from the cached calibration ranking.
 //   - cmd/graspd serves that service over a JSON HTTP API (submit jobs
 //     with a skeleton field, stream tasks, poll results through the same
 //     cursor endpoints for every topology, /metrics), and its -drive mode
@@ -83,7 +92,12 @@
 //     Faults path: its queued and in-flight executions fail over and the
 //     skeleton redelivers them to live nodes under fresh dispatch ids,
 //     while late results from dead incarnations are deduplicated — at
-//     least-once redelivery, exactly-once results.
+//     least-once redelivery, exactly-once results;
+//   - node join is symmetric with node loss: the coordinator streams
+//     membership events, the pool grows (Admit), and a graspworker that
+//     registers mid-stream joins running jobs' memberships — its
+//     register-time benchmark sample becoming its initial dispatch weight
+//     — and starts executing their tasks without any restart.
 //
 // The daemon exposes node administration at /api/v1/nodes, per-node
 // execution tallies in cluster job statuses, and cluster gauges in

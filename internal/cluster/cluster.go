@@ -20,7 +20,13 @@
 //     node (at-least-once redelivery) and retires the dead worker index;
 //   - each delivery carries a fresh dispatch id, so a late result from a
 //     node that was declared dead (or from a superseded registration) is
-//     recognised and dropped — redelivery never produces duplicate results.
+//     recognised and dropped — redelivery never produces duplicate results;
+//   - membership is observable: Subscribe streams node up/down events, the
+//     Pool is growable (Admit appends a late-registering node's execution
+//     slots), and the service layer feeds both into running jobs' engine
+//     memberships — a node that joins mid-stream starts executing tasks
+//     for jobs submitted before it existed, making join symmetric with
+//     the node-loss path.
 //
 // The coordinator is transport-level only: it never decides which node
 // runs a task. Placement stays with the skeletons' adaptive dispatch
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grasp/internal/metrics"
@@ -151,6 +158,22 @@ type node struct {
 	deduped int64
 }
 
+// NodeEvent is one membership change: a node registering (EventUp) or
+// leaving the live set for any reason — death, eviction, graceful leave,
+// or supersession by a re-registration (EventDown). Subscribers use the
+// stream to keep running jobs' worker memberships in sync with the
+// cluster, making node join symmetric with the node-loss path.
+type NodeEvent struct {
+	Kind string   // EventUp or EventDown
+	Node NodeInfo // the node's state at the event
+}
+
+// NodeEvent kinds.
+const (
+	EventUp   = "up"
+	EventDown = "down"
+)
+
 // Coordinator owns the node registry and the per-node task queues. It is
 // safe for concurrent use; create one with NewCoordinator and Close it to
 // stop the death sweeper.
@@ -163,6 +186,12 @@ type Coordinator struct {
 	nextGen      int64
 	nextDispatch int64
 
+	watcherMu   sync.Mutex
+	watchers    map[int]func(NodeEvent)
+	nextWatcher int
+	events      chan NodeEvent
+	eventsLost  atomic.Bool
+
 	stop     chan struct{}
 	stopOnce sync.Once
 }
@@ -171,13 +200,82 @@ type Coordinator struct {
 func NewCoordinator(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	co := &Coordinator{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		nodes: make(map[string]*node),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		nodes:    make(map[string]*node),
+		watchers: make(map[int]func(NodeEvent)),
+		events:   make(chan NodeEvent, 1024),
+		stop:     make(chan struct{}),
 	}
 	go co.sweep()
+	go co.dispatchEvents()
 	return co
+}
+
+// Subscribe registers a membership watcher and returns its cancel
+// function. Events are delivered in order from a single dispatcher
+// goroutine, decoupled from the registry lock, so watchers may call back
+// into the coordinator freely; a watcher that blocks stalls delivery to
+// every watcher, so keep them quick.
+func (co *Coordinator) Subscribe(fn func(NodeEvent)) (cancel func()) {
+	co.watcherMu.Lock()
+	defer co.watcherMu.Unlock()
+	id := co.nextWatcher
+	co.nextWatcher++
+	co.watchers[id] = fn
+	return func() {
+		co.watcherMu.Lock()
+		defer co.watcherMu.Unlock()
+		delete(co.watchers, id)
+	}
+}
+
+// emit queues a membership event for the dispatcher without blocking the
+// registry lock; under pathological churn the bounded buffer drops events
+// (counted) and flags the dispatcher to resync: once the queue drains it
+// replays the whole registry as synthetic events — EventUp for live
+// nodes, EventDown for expired registrations still listed — so a dropped
+// event can never permanently desync a subscriber (replay is free:
+// Pool.Admit deduplicates and down-handling is idempotent).
+func (co *Coordinator) emit(ev NodeEvent) {
+	select {
+	case co.events <- ev:
+	default:
+		co.eventsLost.Store(true)
+		co.reg.Counter("cluster_events_dropped_total").Inc()
+	}
+}
+
+// dispatchEvents fans queued membership events out to the subscribers.
+func (co *Coordinator) dispatchEvents() {
+	deliver := func(ev NodeEvent) {
+		co.watcherMu.Lock()
+		fns := make([]func(NodeEvent), 0, len(co.watchers))
+		for _, fn := range co.watchers {
+			fns = append(fns, fn)
+		}
+		co.watcherMu.Unlock()
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+	for {
+		select {
+		case <-co.stop:
+			return
+		case ev := <-co.events:
+			deliver(ev)
+		}
+		if len(co.events) == 0 && co.eventsLost.Swap(false) {
+			for _, ni := range co.Nodes() {
+				kind := EventDown
+				if ni.State == StateLive {
+					kind = EventUp
+				}
+				deliver(NodeEvent{Kind: kind, Node: ni})
+			}
+		}
+	}
 }
 
 // Metrics exposes the coordinator's operational counters and gauges.
@@ -243,6 +341,7 @@ func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
 	co.logf("cluster: node %s registered (gen %d, capacity %d, %.0f ops/s)",
 		n.id, n.gen, n.capacity, n.speed)
+	co.emit(NodeEvent{Kind: EventUp, Node: n.infoLocked(now)})
 	return RegisterResponse{
 		Gen:         n.gen,
 		HeartbeatMS: (co.cfg.DeadAfter / 3).Milliseconds(),
@@ -320,6 +419,7 @@ func (co *Coordinator) expireLocked(n *node, state, cause string) {
 	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
 	co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(n.id)).Set(0)
 	co.logf("cluster: node %s (gen %d) %s; %d execution(s) reassigned", n.id, n.gen, cause, lost)
+	co.emit(NodeEvent{Kind: EventDown, Node: n.infoLocked(time.Now())})
 }
 
 // liveCountLocked counts live nodes.

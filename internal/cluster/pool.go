@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"grasp/internal/monitor"
@@ -9,36 +10,42 @@ import (
 	"grasp/internal/rt"
 )
 
-// Pool projects a frozen snapshot of live cluster nodes as a
-// platform.Platform, which is how remote worker processes appear to
-// skel/engine as ordinary grid workers. Every skeleton executes at most
-// one task at a time per worker index, so a node's declared capacity is
-// exposed as that many worker indices (execution slots): a node with
-// capacity 4 contributes 4 indices, each a serial Exec lane, and its 4
-// worker-side executors serve them concurrently — one job can use the
-// whole node. Exec queues the task on the slot's node and blocks until a
-// worker process delivers the result (or the node dies, in which case the
-// failed Result drives the engine's Faults reassignment exactly like a
-// grid node crash — every slot of the dead node fails over). Result.Time
-// is the coordinator-observed round trip — queueing, network, and
-// execution — so the Detector adapts to the heterogeneity the cluster
-// actually exhibits.
+// Pool projects the live cluster nodes as a platform.Platform, which is
+// how remote worker processes appear to skel/engine as ordinary grid
+// workers. Every skeleton executes at most one task at a time per worker
+// index, so a node's declared capacity is exposed as that many worker
+// indices (execution slots): a node with capacity 4 contributes 4 indices,
+// each a serial Exec lane, and its 4 worker-side executors serve them
+// concurrently — one job can use the whole node. Exec queues the task on
+// the slot's node and blocks until a worker process delivers the result
+// (or the node dies, in which case the failed Result drives the engine's
+// Faults reassignment exactly like a grid node crash — every slot of the
+// dead node fails over). Result.Time is the coordinator-observed round
+// trip — queueing, network, and execution — so the Detector adapts to the
+// heterogeneity the cluster actually exhibits.
 //
-// A Pool is created per job from the nodes live at submission; nodes
-// joining later serve later jobs. It is safe for concurrent Exec calls,
-// and it only runs on the real runtime (remote processes have no place in
-// the simulator's virtual time).
+// A Pool starts from the nodes live at job submission and is growable:
+// Admit appends execution slots for a node that registers later (the
+// service layer feeds coordinator membership events into running jobs'
+// engine membership this way), so worker indices are append-only and a
+// node that dies and re-registers joins as fresh slots under its new
+// generation. It is safe for concurrent Exec calls, and it only runs on
+// the real runtime (remote processes have no place in the simulator's
+// virtual time).
 type Pool struct {
-	coord   *Coordinator
-	l       *rt.Local
+	coord *Coordinator
+	l     *rt.Local
+
+	mu      sync.RWMutex
 	members []PoolMember
-	stats   []poolStats
+	stats   []*poolStats
 }
 
 // PoolMember pins one execution slot of one node registration into a
 // pool. The generation makes a node that dies and re-registers mid-job
-// count as a fresh node for later jobs rather than silently rejoining
-// this one; Slot distinguishes the node's parallel lanes.
+// count as a fresh registration — its old slots fail over, and Admit
+// appends new slots under the new generation; Slot distinguishes the
+// node's parallel lanes.
 type PoolMember struct {
 	ID       string
 	Gen      int64
@@ -68,40 +75,90 @@ type NodeCount struct {
 // Coordinator.Live at job submission), one worker index per execution
 // slot.
 func NewPool(coord *Coordinator, l *rt.Local, nodes []NodeInfo) *Pool {
-	var members []PoolMember
+	p := &Pool{coord: coord, l: l}
 	for _, ni := range nodes {
-		capacity := ni.Capacity
-		if capacity < 1 {
-			capacity = 1
-		}
-		for s := 0; s < capacity; s++ {
-			members = append(members, PoolMember{
-				ID: ni.ID, Gen: ni.Gen, SpeedOPS: ni.SpeedOPS,
-				Capacity: capacity, Slot: s,
-			})
-		}
+		p.Admit(ni)
 	}
-	return &Pool{coord: coord, l: l, members: members, stats: make([]poolStats, len(members))}
+	return p
 }
 
-// TotalCapacity is the cluster's concurrent execution slots — the pool's
-// worker count, and what a cluster job's default admission window is
-// sized from.
-func (p *Pool) TotalCapacity() int { return len(p.members) }
+// Admit appends execution slots for a newly live node registration and
+// returns their worker indices. A registration (id, gen) already in the
+// pool is ignored (nil), which makes admission idempotent across the
+// snapshot/subscribe seam.
+func (p *Pool) Admit(ni NodeInfo) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.members {
+		if m.ID == ni.ID && m.Gen == ni.Gen {
+			return nil
+		}
+	}
+	capacity := ni.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	added := make([]int, 0, capacity)
+	for s := 0; s < capacity; s++ {
+		p.members = append(p.members, PoolMember{
+			ID: ni.ID, Gen: ni.Gen, SpeedOPS: ni.SpeedOPS,
+			Capacity: capacity, Slot: s,
+		})
+		p.stats = append(p.stats, &poolStats{})
+		added = append(added, len(p.members)-1)
+	}
+	return added
+}
 
-// Members returns the pool's node snapshot in worker-index order.
-func (p *Pool) Members() []PoolMember { return append([]PoolMember(nil), p.members...) }
+// SlotsOf returns the worker indices backed by node registration
+// (id, gen) — what a subscriber removes from a job's membership when the
+// node goes down.
+func (p *Pool) SlotsOf(id string, gen int64) []int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []int
+	for i, m := range p.members {
+		if m.ID == id && m.Gen == gen {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalCapacity is the pool's concurrent execution slots — the pool's
+// worker count, and what a cluster job's default admission window is
+// sized from (at submission; later admissions grow the membership but not
+// the window).
+func (p *Pool) TotalCapacity() int { return p.Size() }
+
+// Members returns the pool's node slots in worker-index order.
+func (p *Pool) Members() []PoolMember {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]PoolMember(nil), p.members...)
+}
 
 // Runtime implements Platform.
 func (p *Pool) Runtime() rt.Runtime { return p.l }
 
 // Size implements Platform.
-func (p *Pool) Size() int { return len(p.members) }
+func (p *Pool) Size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.members)
+}
+
+// member reads one slot's entry and stats under the lock.
+func (p *Pool) member(i int) (PoolMember, *poolStats) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.members[i], p.stats[i]
+}
 
 // WorkerName implements Platform: slots are named "<node>#<slot>" (bare
 // node id for single-slot nodes) so traces distinguish a node's lanes.
 func (p *Pool) WorkerName(i int) string {
-	m := p.members[i]
+	m, _ := p.member(i)
 	if m.Capacity <= 1 {
 		return m.ID
 	}
@@ -111,27 +168,30 @@ func (p *Pool) WorkerName(i int) string {
 // NodeName returns the node id behind worker index i — the user-facing
 // attribution (result `node` fields, per-node tallies), which aggregates
 // a node's slots.
-func (p *Pool) NodeName(i int) string { return p.members[i].ID }
+func (p *Pool) NodeName(i int) string {
+	m, _ := p.member(i)
+	return m.ID
+}
 
 // Exec implements Platform: the task is queued on member i's node and the
 // calling context blocks for the round trip. A node lost mid-flight (or
 // already gone) yields a failed Result carrying ErrNodeLost, which the
 // skeletons treat exactly like a worker crash: retire and re-queue.
 func (p *Pool) Exec(c rt.Ctx, i int, t platform.Task) platform.Result {
-	m := p.members[i]
+	m, st := p.member(i)
 	start := c.Now()
-	p.stats[i].dispatched.Add(1)
+	st.dispatched.Add(1)
 	done, err := p.coord.submit(m.ID, m.Gen, t.ID, EncodeWork(t.Cost, t.Data))
 	if err != nil {
-		p.stats[i].failed.Add(1)
+		st.failed.Add(1)
 		return platform.Result{Task: t, Worker: i, Start: start, Err: ErrNodeLost}
 	}
 	out := <-done
 	if out.err != nil {
-		p.stats[i].failed.Add(1)
+		st.failed.Add(1)
 		return platform.Result{Task: t, Worker: i, Start: start, Time: c.Now() - start, Err: out.err}
 	}
-	p.stats[i].completed.Add(1)
+	st.completed.Add(1)
 	return platform.Result{
 		Task:   t,
 		Worker: i,
@@ -155,6 +215,8 @@ func (p *Pool) BandwidthSensor(int) monitor.Sensor {
 // NodeCounts tallies this job's executions per member node, aggregating
 // each node's slots, in first-seen node order.
 func (p *Pool) NodeCounts() []NodeCount {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var out []NodeCount
 	index := make(map[string]int)
 	for i, m := range p.members {

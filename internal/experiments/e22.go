@@ -9,13 +9,17 @@ import (
 
 // E22ClusterNodeLoss drives the distributed worker-node subsystem: a farm
 // job placed on a 2-node in-process cluster (real coordinator HTTP
-// protocol, real worker runtimes) loses one node mid-stream.
+// protocol, real worker runtimes) loses one node mid-stream to an
+// eviction.
 //
 // Expected shape: before the loss the job spans both nodes; the eviction
 // fails the dead node's queued and in-flight dispatches over through the
-// engine's fault path; the survivor absorbs the redelivered work; and the
-// stream still drains exactly-once — at-least-once redelivery, exactly-once
-// results, the cluster layer's central claim.
+// engine's fault path and the survivor absorbs the redelivered work; and
+// because the evicted process is still healthy, it re-registers under a
+// fresh generation and — elastic membership — rejoins the *running* job
+// as new execution slots and executes tasks again. At-least-once
+// redelivery plus registration generations still yield exactly-once
+// results across the whole loss/rejoin cycle.
 func E22ClusterNodeLoss(seed int64) Result {
 	_ = seed // real-time placement: shapes must hold on any healthy machine
 	const (
@@ -35,6 +39,7 @@ func E22ClusterNodeLoss(seed int64) Result {
 		panic(err)
 	}
 	nodesAtSubmit := len(j.Status().Nodes)
+	slotsAtSubmit := j.Status().Workers
 
 	// Phase 1 from a background goroutine: the push blocks under the job's
 	// admission window, keeping every execution slot on both nodes busy, so
@@ -50,11 +55,29 @@ func E22ClusterNodeLoss(seed int64) Result {
 	}
 	warmedUp := j.Status().Completed >= phase1/4
 
-	// Kill one of the two nodes out from under the stream.
+	// Kill one of the two nodes out from under the stream. Its in-flight
+	// work fails over immediately; the healthy process then re-registers
+	// under a fresh generation and rejoins the running job's membership.
 	evictErr := cs.Coord.Evict("node-b")
 	pushErr := <-pushed
+	// Rejoin shows up as fresh execution slots (worker indices past the
+	// submission-time pool) entering the membership — the dead
+	// generation's slots leave it at the same time, so the membership
+	// *size* alone cannot distinguish a rejoin from nothing happening.
+	rejoined := false
+	for !rejoined && time.Now().Before(deadline) {
+		for _, w := range j.Status().AllocatedWorkers {
+			if w >= slotsAtSubmit {
+				rejoined = true
+			}
+		}
+		if !rejoined {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
 
-	// Phase 2: traffic keeps arriving after the loss; the survivor carries it.
+	// Phase 2: traffic keeps arriving after the loss; the survivor and the
+	// rejoined incarnation carry it together.
 	_, push2Err := j.Push(sleepSpecs(phase1, phase2, sleepUS))
 	j.CloseInput()
 	drained := waitJob(j, modernTimeout)
@@ -62,6 +85,7 @@ func E22ClusterNodeLoss(seed int64) Result {
 	st := j.Status()
 	results, _ := j.Results(0)
 	once := exactlyOnce(results, 0, total)
+	rep := j.Report()
 
 	var evicted, survivor struct {
 		name                          string
@@ -76,6 +100,15 @@ func E22ClusterNodeLoss(seed int64) Result {
 				nc.Node, nc.Dispatched, nc.Completed, nc.Failed
 		}
 	}
+	// The rejoined incarnation's slots are the ones admitted after the
+	// loss (fresh worker indices): executions there prove the running job
+	// really used the re-registered node, not just its first life.
+	rejoinExecutions := 0
+	for w, n := range rep.TasksByWorker {
+		if w >= slotsAtSubmit {
+			rejoinExecutions += n
+		}
+	}
 
 	table := report.NewTable("E22 — node loss mid-stream on a 2-node cluster",
 		"measure", "value")
@@ -87,8 +120,11 @@ func E22ClusterNodeLoss(seed int64) Result {
 	table.AddRow("nodes evicted mid-stream", 1)
 	table.AddRow("evicted node dispatched before loss", yesNo(evicted.dispatched > 0))
 	table.AddRow("failed dispatches redelivered", yesNo(st.Failures >= 1 && st.Completed == total))
-	table.AddRow("survivor finished the drain", yesNo(survivor.completed > 0 && drained))
-	table.AddNote("capacity 2 per node; eviction lands while the admission window holds both nodes' slots busy")
+	table.AddRow("survivor kept executing", yesNo(survivor.completed > 0 && drained))
+	table.AddRow("evicted process rejoined the running job", yesNo(rejoined))
+	table.AddRow("executions on rejoined slots", yesNo(rejoinExecutions > 0))
+	table.AddNote("capacity 2 per node; eviction lands while the admission window holds both nodes' slots busy; " +
+		"the healthy evicted process re-registers under a fresh generation and rejoins mid-stream")
 
 	checks := []Check{
 		check("cluster-live-at-submit", nodesAtSubmit == 2, "%d nodes in the job's pool", nodesAtSubmit),
@@ -99,11 +135,15 @@ func E22ClusterNodeLoss(seed int64) Result {
 			"phase1=%v phase2=%v", pushErr, push2Err),
 		check("failover-observed", st.Failures >= 1,
 			"%d failed executions redelivered (node-b failed=%d)", st.Failures, evicted.failed),
+		check("survivor-kept-executing", survivor.completed > 0,
+			"completed: %s=%d", survivor.name, survivor.completed),
+		check("evicted-process-rejoins", rejoined && rep.WorkersAdded >= 2,
+			"fresh slots joined the membership (engine admitted %d)", rep.WorkersAdded),
+		check("rejoined-slots-execute", rejoinExecutions > 0,
+			"%d executions on post-loss slots", rejoinExecutions),
 		check("drains-after-node-loss", drained && st.Completed == total && st.Lost == 0,
 			"done=%v completed=%d of %d lost=%d", drained, st.Completed, total, st.Lost),
 		check("exactly-once-across-redelivery", once, "%d distinct of %d results", onceDistinct(results), len(results)),
-		check("survivor-absorbed-the-work", survivor.completed > evicted.completed,
-			"completed: %s=%d %s=%d", survivor.name, survivor.completed, evicted.name, evicted.completed),
 	}
 	return Result{ID: "E22", Title: "Node-loss recovery on a 2-node cluster", Table: table, Checks: checks}
 }
@@ -119,4 +159,4 @@ func onceDistinct(results []service.TaskResult) int {
 
 // runnerE22 registers E22 in the experiment index with its execution
 // placement — the substrate seam every experiment declares.
-var runnerE22 = Runner{ID: "E22", Title: "Node-loss recovery on a 2-node in-process cluster", Placement: PlaceCluster, Run: E22ClusterNodeLoss}
+var runnerE22 = Runner{ID: "E22", Title: "Node-loss recovery and elastic rejoin on a 2-node in-process cluster", Placement: PlaceCluster, Run: E22ClusterNodeLoss}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"time"
+
+	"grasp/internal/report"
+	"grasp/internal/service"
+)
+
+// E24FairShareRebalance drives the elastic-membership tentpole on the
+// local platform: two jobs with shares 1:3 compete for one 8-slot
+// platform, the worker split rebalancing live as the competitor arrives
+// and departs.
+//
+// Expected shape: the lone job owns every slot (work conservation); the
+// share-3 competitor's arrival shrinks it to a 2:6 split (the declared
+// 1:3 ratio over 8 slots) delivered through the allocator's membership
+// deltas while both streams are in flight; tasks the shrunken job pushes
+// after the rebalance run only on its own 2 slots; the competitor's
+// finish returns its 6 workers; and both streams stay exactly-once
+// throughout — elasticity never loses or duplicates a task.
+func E24FairShareRebalance(seed int64) Result {
+	_ = seed // real-time placement: shapes must hold on any healthy machine
+	const (
+		workers = 8
+		phase1  = 24
+		phase2  = 30
+		phase3  = 10
+		heavyN  = 40
+		sleepUS = 500
+	)
+	s := service.New(service.Config{Workers: workers, WarmupTasks: 4})
+
+	shareOf := func(v float64) *float64 { return &v }
+	light, err := s.Submit("light", service.JobSpec{Share: shareOf(1)})
+	if err != nil {
+		panic(err)
+	}
+	aloneWorkers := light.Status().Workers
+	light.Push(sleepSpecs(0, phase1, sleepUS))
+
+	heavy, err := s.Submit("heavy", service.JobSpec{Share: shareOf(3)})
+	if err != nil {
+		panic(err)
+	}
+	lightSt, heavySt := light.Status(), heavy.Status()
+	splitLight, splitHeavy := lightSt.Workers, heavySt.Workers
+	lightSet := make(map[int]bool, splitLight)
+	for _, w := range lightSt.AllocatedWorkers {
+		lightSet[w] = true
+	}
+
+	// Phase 2 lands after the rebalance, so its dispatches are confined to
+	// light's shrunken membership while heavy is live.
+	light.Push(sleepSpecs(100, phase2, sleepUS))
+	heavy.Push(sleepSpecs(0, heavyN, sleepUS))
+	confined := true
+	deadline := time.Now().Add(modernTimeout)
+	for light.Status().Completed < phase1+phase2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	midResults, _ := light.Results(0)
+	for _, r := range midResults {
+		if r.ID >= 100 && r.ID < 100+phase2 && !lightSet[r.Worker] {
+			confined = false
+		}
+	}
+
+	heavy.CloseInput()
+	heavyDone := waitJob(heavy, modernTimeout)
+	regrown := light.Status().Workers
+
+	light.Push(sleepSpecs(200, phase3, sleepUS))
+	light.CloseInput()
+	lightDone := waitJob(light, modernTimeout)
+
+	lightResults, _ := light.Results(0)
+	heavyResults, _ := heavy.Results(0)
+	lightOnce := len(lightResults) == phase1+phase2+phase3 && onceDistinct(lightResults) == len(lightResults)
+	heavyOnce := exactlyOnce(heavyResults, 0, heavyN)
+	rep := light.Report()
+
+	table := report.NewTable("E24 — two jobs, shares 1:3, rebalancing one 8-slot platform",
+		"measure", "value")
+	table.AddRow("platform worker slots", workers)
+	table.AddRow("lone job's workers (work conservation)", aloneWorkers)
+	table.AddRow("split after share-3 job arrives", yesNo(splitLight == 2 && splitHeavy == 6))
+	table.AddRow("light:heavy workers mid-run", "2:6")
+	table.AddRow("post-rebalance dispatches confined to own slots", yesNo(confined))
+	table.AddRow("workers regrown after competitor finishes", regrown)
+	table.AddRow("light membership churn applied by engine", yesNo(rep.WorkersRemoved >= 6 && rep.WorkersAdded >= 6))
+	table.AddRow("light exactly-once", yesNo(lightOnce))
+	table.AddRow("heavy exactly-once", yesNo(heavyOnce))
+	table.AddNote("shares are relative, not caps: the lone job owns the whole platform before and after the competitor")
+
+	checks := []Check{
+		check("work-conserving-lone-job", aloneWorkers == workers,
+			"lone job holds %d of %d slots", aloneWorkers, workers),
+		check("converges-to-declared-ratio", splitLight == 2 && splitHeavy == 6,
+			"split %d:%d for shares 1:3 over %d slots", splitLight, splitHeavy, workers),
+		check("post-rebalance-confinement", confined,
+			"phase-2 results stayed on light's %v", lightSt.AllocatedWorkers),
+		check("slots-flow-back-on-finish", heavyDone && regrown == workers,
+			"light holds %d slots after heavy finished", regrown),
+		check("engine-applied-membership", rep.WorkersRemoved >= 6 && rep.WorkersAdded >= 6,
+			"light churn +%d/-%d", rep.WorkersAdded, rep.WorkersRemoved),
+		check("light-exactly-once", lightDone && lightOnce,
+			"%d distinct of %d results", onceDistinct(lightResults), len(lightResults)),
+		check("heavy-exactly-once", heavyOnce,
+			"%d distinct of %d results", onceDistinct(heavyResults), len(heavyResults)),
+	}
+	return Result{ID: "E24", Title: "Fair-share rebalance between competing jobs", Table: table, Checks: checks}
+}
+
+// runnerE24 registers E24 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE24 = Runner{ID: "E24", Title: "Fair-share worker rebalance between two competing streaming jobs", Placement: PlaceLocal, Run: E24FairShareRebalance}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"time"
+
+	"grasp/internal/report"
+	"grasp/internal/service"
+)
+
+// E25ClusterScaleOut drives the cluster side of elastic membership — the
+// mirror image of E22's node loss: a farm job starts on a single worker
+// node and a second node registers while the stream is in flight.
+//
+// Expected shape: the job's membership at submission is the lone node's
+// slots; the joiner's registration flows through the coordinator's node
+// events, the growable pool, and the engine's membership deltas (its
+// register-time benchmark sample becoming its initial weight); the joiner
+// demonstrably executes tasks for the already-running job without any
+// restart; and the stream drains exactly-once — scale-out is as safe as
+// failover.
+func E25ClusterScaleOut(seed int64) Result {
+	_ = seed // real-time placement: shapes must hold on any healthy machine
+	const (
+		phase1  = 30
+		phase2  = 30
+		total   = phase1 + phase2
+		sleepUS = 5_000
+	)
+	cs, err := startClusterStack(1, 2, service.Config{Workers: 2, WarmupTasks: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer cs.Close()
+
+	j, err := cs.Svc.Submit("scales-out", service.JobSpec{Placement: service.PlacementCluster})
+	if err != nil {
+		panic(err)
+	}
+	workersAtSubmit := j.Status().Workers
+	nodesAtSubmit := len(cs.Coord.Live())
+
+	// Phase 1 from a background goroutine: slow tasks keep the lone node's
+	// slots saturated, so the join below lands mid-stream by construction.
+	pushed := make(chan error, 1)
+	go func() {
+		_, err := j.Push(sleepSpecs(0, phase1, sleepUS))
+		pushed <- err
+	}()
+	deadline := time.Now().Add(modernTimeout)
+	for j.Status().Completed < phase1/4 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	midStream := j.Status().Completed >= phase1/4 && j.Status().Completed < total
+
+	// Scale out: node-b registers while the stream is in flight.
+	joinErr := cs.AddWorker("node-b", 2)
+	grew := false
+	for time.Now().Before(deadline) {
+		if j.Status().Workers >= workersAtSubmit+2 {
+			grew = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pushErr := <-pushed
+
+	// Phase 2: traffic after the join spans both nodes.
+	_, push2Err := j.Push(sleepSpecs(phase1, phase2, sleepUS))
+	j.CloseInput()
+	drained := waitJob(j, modernTimeout)
+
+	st := j.Status()
+	results, _ := j.Results(0)
+	once := exactlyOnce(results, 0, total)
+	var joinerCompleted, originalCompleted int64
+	for _, nc := range st.Nodes {
+		if nc.Node == "node-b" {
+			joinerCompleted = nc.Completed
+		} else {
+			originalCompleted = nc.Completed
+		}
+	}
+	rep := j.Report()
+
+	table := report.NewTable("E25 — cluster scale-out mid-stream",
+		"measure", "value")
+	table.AddRow("nodes at submission", nodesAtSubmit)
+	table.AddRow("execution slots at submission", workersAtSubmit)
+	table.AddRow("node joined mid-stream", yesNo(midStream && joinErr == nil))
+	table.AddRow("membership grew without restart", yesNo(grew))
+	table.AddRow("joiner executed tasks", yesNo(joinerCompleted > 0))
+	table.AddRow("original node kept executing", yesNo(originalCompleted > 0))
+	table.AddRow("tasks completed", st.Completed)
+	table.AddRow("exactly-once across scale-out", yesNo(once))
+	table.AddNote("the joiner's register-time benchmark sample becomes its initial dispatch weight; " +
+		"round-trip observations reweight it live")
+
+	checks := []Check{
+		check("starts-on-one-node", nodesAtSubmit == 1 && workersAtSubmit == 2,
+			"%d nodes, %d slots at submission", nodesAtSubmit, workersAtSubmit),
+		check("join-lands-mid-stream", midStream && joinErr == nil,
+			"stream in flight when node-b registered (err %v)", joinErr),
+		check("membership-grows-live", grew && rep.WorkersAdded >= 2,
+			"workers %d→%d, engine admitted %d", workersAtSubmit, st.Workers, rep.WorkersAdded),
+		check("pushes-survive-the-join", pushErr == nil && push2Err == nil,
+			"phase1=%v phase2=%v", pushErr, push2Err),
+		check("joiner-executes", joinerCompleted > 0,
+			"node-b completed %d executions", joinerCompleted),
+		check("drains-after-scale-out", drained && st.Completed == total && st.Lost == 0,
+			"done=%v completed=%d of %d lost=%d", drained, st.Completed, total, st.Lost),
+		check("exactly-once-across-scale-out", once,
+			"%d distinct of %d results", onceDistinct(results), len(results)),
+	}
+	return Result{ID: "E25", Title: "Cluster scale-out mid-stream", Table: table, Checks: checks}
+}
+
+// runnerE25 registers E25 in the experiment index with its execution
+// placement — the substrate seam every experiment declares.
+var runnerE25 = Runner{ID: "E25", Title: "Cluster scale-out: a node joining mid-stream executes a running job's tasks", Placement: PlaceCluster, Run: E25ClusterScaleOut}

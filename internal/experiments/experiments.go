@@ -15,9 +15,10 @@
 //
 // Every experiment declares a Placement — the execution substrate it
 // drives. E1–E19 run on the deterministic virtual-time grid simulator;
-// E20–E23 run the modern stack itself: the streaming service layer, the
-// daemon's HTTP API, and an in-process worker-node cluster speaking the
-// real coordinator protocol.
+// E20–E25 run the modern stack itself: the streaming service layer, the
+// daemon's HTTP API, an in-process worker-node cluster speaking the real
+// coordinator protocol, and the elastic-membership paths (fair-share
+// rebalance between competing jobs, cluster scale-out mid-stream).
 package experiments
 
 import (
@@ -107,7 +108,8 @@ func All() []Runner {
 		runnerE1, runnerE2, runnerE3, runnerE4, runnerE5, runnerE6,
 		runnerE7, runnerE8, runnerE9, runnerE10, runnerE11, runnerE12,
 		runnerE13, runnerE14, runnerE15, runnerE16, runnerE17, runnerE18,
-		runnerE19, runnerE20, runnerE21, runnerE22, runnerE23,
+		runnerE19, runnerE20, runnerE21, runnerE22, runnerE23, runnerE24,
+		runnerE25,
 	}
 }
 

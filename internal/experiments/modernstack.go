@@ -1,6 +1,6 @@
 package experiments
 
-// Shared plumbing for the modern-stack experiments (E20–E23): the ones
+// Shared plumbing for the modern-stack experiments (E20–E25): the ones
 // that execute on the layers built above the simulator — the streaming
 // service, the daemon's HTTP API, and the in-process worker-node cluster.
 // Unlike the vsim experiments these run in real time, so their tables and
@@ -113,6 +113,24 @@ func startClusterStack(n, capacity int, svcCfg service.Config) (*clusterStack, e
 	svcCfg.Cluster = coord
 	cs.Svc = service.New(svcCfg)
 	return cs, nil
+}
+
+// AddWorker registers one more worker runtime mid-run — the scale-out
+// lever E25 exercises against a stream already in flight.
+func (cs *clusterStack) AddWorker(id string, capacity int) error {
+	w, err := cluster.StartWorker(cluster.WorkerConfig{
+		Coordinator: cs.srv.URL,
+		ID:          id,
+		Capacity:    capacity,
+		BenchSpin:   10_000,
+		Heartbeat:   50 * time.Millisecond,
+		LeaseWait:   100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	cs.workers = append(cs.workers, w)
+	return nil
 }
 
 // Close stops the workers, the HTTP server, and the coordinator.

@@ -56,6 +56,11 @@ type Driver struct {
 	// daemon's workers, "cluster" on its registered graspworker nodes —
 	// the knob for driving a whole cluster scenario.
 	Placement string
+	// Shares cycles fair-share weights across the run's jobs: job k is
+	// created with share Shares[k%len] (empty: the server default). Use
+	// e.g. {1, 3} to drive competing-priority traffic and watch the
+	// allocator hold the worker split at the declared ratio.
+	Shares []float64
 }
 
 func (d Driver) withDefaults() Driver {
@@ -179,6 +184,11 @@ func (d Driver) driveJob(name, skeleton string, salt int64, deadline time.Time, 
 	}
 	if d.Placement != "" {
 		create["placement"] = d.Placement
+	}
+	if len(d.Shares) > 0 {
+		if share := d.Shares[int(salt)%len(d.Shares)]; share > 0 {
+			create["share"] = share
+		}
 	}
 	switch skeleton {
 	case "", "farm":

@@ -13,6 +13,13 @@ import (
 // startClusterDaemon builds a service with a live coordinator and n
 // in-process workers running the real HTTP worker runtime.
 func startClusterDaemon(t *testing.T, n int) (*service.Service, *cluster.Coordinator) {
+	s, coord, _ := startClusterDaemonURL(t, n)
+	return s, coord
+}
+
+// startClusterDaemonURL additionally exposes the coordinator's URL so
+// tests can register workers mid-stream.
+func startClusterDaemonURL(t *testing.T, n int) (*service.Service, *cluster.Coordinator, string) {
 	t.Helper()
 	coord := cluster.NewCoordinator(cluster.Config{
 		DeadAfter:    500 * time.Millisecond,
@@ -22,25 +29,32 @@ func startClusterDaemon(t *testing.T, n int) (*service.Service, *cluster.Coordin
 	srv := httptest.NewServer(coord.Handler())
 	t.Cleanup(srv.Close)
 	for i := 0; i < n; i++ {
-		w, err := cluster.StartWorker(cluster.WorkerConfig{
-			Coordinator: srv.URL,
-			ID:          string(rune('a' + i)),
-			Capacity:    2,
-			BenchSpin:   10_000,
-			Heartbeat:   50 * time.Millisecond,
-			LeaseWait:   100 * time.Millisecond,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(w.Stop)
+		startClusterWorker(t, srv.URL, string(rune('a'+i)))
 	}
 	s := service.New(service.Config{
 		Workers:     2,
 		WarmupTasks: 4,
 		Cluster:     coord,
 	})
-	return s, coord
+	return s, coord, srv.URL
+}
+
+// startClusterWorker registers one in-process worker runtime.
+func startClusterWorker(t *testing.T, url, id string) *cluster.Worker {
+	t.Helper()
+	w, err := cluster.StartWorker(cluster.WorkerConfig{
+		Coordinator: url,
+		ID:          id,
+		Capacity:    2,
+		BenchSpin:   10_000,
+		Heartbeat:   50 * time.Millisecond,
+		LeaseWait:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	return w
 }
 
 func TestClusterPlacementJobRunsOnWorkerNodes(t *testing.T) {
@@ -171,6 +185,105 @@ func TestPushUnblocksWhenEveryNodeDies(t *testing.T) {
 	case <-j.Done():
 	case <-time.After(10 * time.Second):
 		t.Fatal("job never finished after losing its only node")
+	}
+}
+
+// TestNodeJoinsRunningClusterJob is the join-symmetric counterpart of the
+// node-loss tests: a job submitted with one live node gains a second node
+// that registers mid-stream — through the coordinator's membership events,
+// the growable pool, and the engine's membership deltas — and the joiner
+// demonstrably executes tasks while the stream stays exactly-once.
+func TestNodeJoinsRunningClusterJob(t *testing.T) {
+	s, _, url := startClusterDaemonURL(t, 1)
+	j, err := s.Submit("elastic", service.JobSpec{Placement: service.PlacementCluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Status().Workers; got != 2 {
+		t.Fatalf("membership at submit = %d slots, want 2 (one node, capacity 2)", got)
+	}
+
+	// Phase 1: saturate the lone node with slow tasks from a background
+	// push so the stream is demonstrably mid-flight when the joiner lands.
+	phase1 := make([]service.TaskSpec, 30)
+	for i := range phase1 {
+		phase1[i] = service.TaskSpec{ID: i, SleepUS: 10_000}
+	}
+	pushed := make(chan error, 1)
+	go func() {
+		_, err := j.Push(phase1)
+		pushed <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Status().Completed < 4 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The second node registers mid-stream.
+	startClusterWorker(t, url, "joiner")
+	for time.Now().Before(deadline) {
+		if st := j.Status(); st.Workers >= 4 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := j.Status(); st.Workers < 4 {
+		t.Fatalf("membership never grew: %d slots, want 4 after the join", st.Workers)
+	}
+	if err := <-pushed; err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2 traffic lands on both nodes.
+	phase2 := make([]service.TaskSpec, 30)
+	for i := range phase2 {
+		phase2[i] = service.TaskSpec{ID: 30 + i, SleepUS: 5_000}
+	}
+	if _, err := j.Push(phase2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CloseInput(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never drained after the join")
+	}
+
+	st := j.Status()
+	if st.Completed != 60 || st.Failures != 0 || st.Lost != 0 {
+		t.Fatalf("completed=%d failures=%d lost=%d, want a clean 60", st.Completed, st.Failures, st.Lost)
+	}
+	var joiner int64
+	for _, nc := range st.Nodes {
+		if nc.Node == "joiner" {
+			joiner = nc.Completed
+		}
+	}
+	if joiner == 0 {
+		t.Errorf("joined node executed nothing: per-node tallies %+v", st.Nodes)
+	}
+	results, _ := j.Results(0)
+	seen := map[int]bool{}
+	joinerResults := 0
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Fatalf("task %d duplicated", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Node == "joiner" {
+			joinerResults++
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("%d distinct results, want 60", len(seen))
+	}
+	if joinerResults == 0 {
+		t.Error("no result attributed to the joined node")
+	}
+	if rep := j.Report(); rep.WorkersAdded < 2 {
+		t.Errorf("engine admitted %d workers, want the joiner's 2 slots", rep.WorkersAdded)
 	}
 }
 

@@ -147,9 +147,9 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(r)
+		body, err := readBody(w, r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeBodyError(w, err)
 			return
 		}
 		var req createRequest
@@ -208,9 +208,9 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("name")))
 			return
 		}
-		body, err := readBody(r)
+		body, err := readBody(w, r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeBodyError(w, err)
 			return
 		}
 		specs, err := decodeTasks(body)
@@ -272,17 +272,30 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-// readBody slurps a bounded request body.
-func readBody(r *http.Request) ([]byte, error) {
+// readBody slurps a bounded request body through http.MaxBytesReader, so
+// an oversized upload is cut off at the transport (the server also closes
+// the connection) instead of being buffered and then rejected — job
+// creation and task submission are the daemon's hot unauthenticated
+// paths, and an unbounded decode there is a one-request memory DoS.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	defer r.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		return nil, err
 	}
-	if len(body) > maxBodyBytes {
-		return nil, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
-	}
 	return body, nil
+}
+
+// writeBodyError maps a readBody failure onto its status: 413 for an
+// oversized body, 400 otherwise.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // writeJSON encodes v with the given status.

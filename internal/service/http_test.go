@@ -225,6 +225,47 @@ func FuzzSubmit(f *testing.F) {
 	})
 }
 
+// TestHTTPOversizedBodyRejected413 checks the MaxBytesReader guard on the
+// two hot unauthenticated decode paths: a body past the cap draws 413,
+// not an unbounded buffer then a 400.
+func TestHTTPOversizedBodyRejected413(t *testing.T) {
+	srv, _ := testServer(t)
+	base := srv.URL
+
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"big"}`, http.StatusCreated, nil)
+
+	// Anything past maxBodyBytes must be cut off at the transport — the
+	// decoder never sees it, so even well-formed JSON draws 413.
+	oversized := `{"tasks":[{"id":1,"sleep_us":1}` + strings.Repeat(" ", maxBodyBytes) + `]}`
+	doJSON(t, "POST", base+"/api/v1/jobs/big/tasks", oversized, http.StatusRequestEntityTooLarge, nil)
+
+	// Job creation is bounded too.
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"`+strings.Repeat("x", maxBodyBytes+16)+`"}`,
+		http.StatusRequestEntityTooLarge, nil)
+
+	// The job is untouched and still usable after the oversized attempts.
+	doJSON(t, "POST", base+"/api/v1/jobs/big/tasks", `[{"id":1,"sleep_us":10}]`, http.StatusAccepted, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs/big/close", "", http.StatusOK, nil)
+}
+
+// TestHTTPShareInSpec drives the share knob over the wire: explicit
+// non-positive shares draw 400, a valid share lands in the status.
+func TestHTTPShareInSpec(t *testing.T) {
+	srv, _ := testServer(t)
+	base := srv.URL
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"z","share":0}`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"z","share":-2}`, http.StatusBadRequest, nil)
+	var created JobStatus
+	doJSON(t, "POST", base+"/api/v1/jobs", `{"name":"z","share":2.5}`, http.StatusCreated, &created)
+	if created.Share != 2.5 {
+		t.Fatalf("created share = %g, want 2.5", created.Share)
+	}
+	if created.Workers == 0 || len(created.AllocatedWorkers) != created.Workers {
+		t.Fatalf("created workers = %d (%v), want a non-empty allocation", created.Workers, created.AllocatedWorkers)
+	}
+	doJSON(t, "POST", base+"/api/v1/jobs/z/close", "", http.StatusOK, nil)
+}
+
 func TestHTTPRejectsInvalidJobSpec(t *testing.T) {
 	srv, _ := testServer(t)
 	base := srv.URL

@@ -2,10 +2,12 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"grasp/internal/cluster"
+	"grasp/internal/metrics"
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
@@ -36,8 +38,16 @@ type JobSpec struct {
 	Skeleton string `json:"skeleton,omitempty"`
 	// Placement selects the execution substrate: "local" (default) runs on
 	// the daemon's own worker slots; "cluster" dispatches to the remote
-	// graspworker processes live at submission time.
+	// graspworker processes — those live at submission plus any that
+	// register while the job runs (elastic membership).
 	Placement string `json:"placement,omitempty"`
+	// Share is the job's weight in the fair-share partition of the local
+	// worker slots: a job with share 3 holds ~3× the workers of a
+	// concurrent job with share 1, every slot is always owned by some job
+	// (shares are relative, not caps), and the split rebalances live as
+	// jobs come and go. Omitted: the daemon's default (1, or
+	// -default-share). Explicit non-positive values are rejected.
+	Share *float64 `json:"share,omitempty"`
 	// Window is the job's bounded in-flight window (default the service's
 	// DefaultWindow).
 	Window int `json:"window,omitempty"`
@@ -73,6 +83,10 @@ type StageSpec struct {
 }
 
 func (js JobSpec) withDefaults(cfg Config) JobSpec {
+	if js.Share == nil {
+		share := cfg.DefaultShare
+		js.Share = &share
+	}
 	if js.Window <= 0 {
 		js.Window = cfg.DefaultWindow
 	}
@@ -106,6 +120,9 @@ func (js JobSpec) Validate() error {
 	}
 	if js.ThresholdFactor < 0 {
 		return fmt.Errorf("threshold_factor must be non-negative, got %g", js.ThresholdFactor)
+	}
+	if js.Share != nil && *js.Share <= 0 {
+		return fmt.Errorf("share must be positive, got %g", *js.Share)
 	}
 	if !adapt.Known(js.Skeleton) {
 		return fmt.Errorf("unknown skeleton %q (have %v)", js.Skeleton, adapt.Names())
@@ -162,6 +179,14 @@ func (js JobSpec) placement() string {
 	return js.Placement
 }
 
+// share returns the resolved fair-share weight (after withDefaults).
+func (js JobSpec) share() float64 {
+	if js.Share == nil || *js.Share <= 0 {
+		return 1
+	}
+	return *js.Share
+}
+
 // TaskSpec is one unit of submitted work in wire form. SleepUS models
 // IO-bound work (the closure sleeps), Spin models CPU-bound work (a busy
 // loop); both may be combined. The closure returns the task ID.
@@ -213,20 +238,28 @@ const (
 
 // JobStatus is a point-in-time snapshot of a job, JSON-ready.
 type JobStatus struct {
-	Name           string `json:"name"`
-	Skeleton       string `json:"skeleton"`
-	Placement      string `json:"placement"`
-	State          string `json:"state"`
-	Submitted      int    `json:"submitted"`
-	Completed      int    `json:"completed"`
-	InFlight       int    `json:"in_flight"`
-	Window         int    `json:"window"`
-	ZMicros        int64  `json:"z_micros"`
-	Breaches       int    `json:"breaches"`
-	Recalibrations int    `json:"recalibrations"`
-	Failures       int    `json:"failures"`
-	MaxInFlight    int    `json:"max_in_flight"`
-	MakespanMicros int64  `json:"makespan_micros"`
+	Name      string `json:"name"`
+	Skeleton  string `json:"skeleton"`
+	Placement string `json:"placement"`
+	State     string `json:"state"`
+	// Share is the job's fair-share weight in the allocator's partition.
+	Share float64 `json:"share"`
+	// Workers counts the job's currently allocated workers — the live
+	// membership, which grows and shrinks as competing jobs come and go
+	// (local placement) or cluster nodes join and leave (cluster).
+	Workers int `json:"workers"`
+	// AllocatedWorkers lists the allocated worker indices.
+	AllocatedWorkers []int `json:"allocated_workers,omitempty"`
+	Submitted        int   `json:"submitted"`
+	Completed        int   `json:"completed"`
+	InFlight         int   `json:"in_flight"`
+	Window           int   `json:"window"`
+	ZMicros          int64 `json:"z_micros"`
+	Breaches         int   `json:"breaches"`
+	Recalibrations   int   `json:"recalibrations"`
+	Failures         int   `json:"failures"`
+	MaxInFlight      int   `json:"max_in_flight"`
+	MakespanMicros   int64 `json:"makespan_micros"`
 	// Lost counts accepted tasks that will never execute because the job's
 	// run ended without them (every cluster node died mid-stream). Zero for
 	// any job whose substrate survived.
@@ -254,6 +287,9 @@ type Job struct {
 	// zMicros instead).
 	det  *monitor.Detector
 	done chan struct{}
+	// clusterUnsub cancels the coordinator membership subscription feeding
+	// node join/leave into this job (cluster placement only).
+	clusterUnsub func()
 
 	// sendMu serialises Push and CloseInput so the input channel is never
 	// closed under a blocked sender.
@@ -273,6 +309,20 @@ type Job struct {
 	results        []TaskResult
 	resultsBase    int // results dropped by the retention bound
 	rep            engine.StreamReport
+
+	// Membership: workerSet is the desired membership — the allocator's
+	// (or the cluster subscription's) view of this job's workers — and
+	// engineSet is the membership as of the last successfully flushed
+	// control update. A flush sends the diff between the two through
+	// non-blocking sends (from the delta source and again on every
+	// result), so the allocator is never blocked on a slow job and any
+	// sequence of failed flushes still converges: the diff is recomputed
+	// from the authoritative sets each time, never maintained
+	// incrementally.
+	workerSet      map[int]bool
+	engineSet      map[int]bool
+	memberWeights  map[int]float64 // initial weight per desired worker
+	pendingWeights map[int]float64 // full re-normalised map to install
 }
 
 // Name returns the job's name.
@@ -402,6 +452,110 @@ func capWork(v, max int64) int64 {
 	return v
 }
 
+// applyDelta records a membership change — added workers with their
+// initial weights, removed workers, and optionally a full re-normalised
+// weight map covering the new set — in the desired membership and tries
+// to flush the engine's view up to date. Delta sources (the allocator's
+// rebalance callback, the cluster membership subscription) call this
+// synchronously; it never blocks.
+func (j *Job) applyDelta(added []engine.Member, removed []int, weights map[int]float64) {
+	j.mu.Lock()
+	if j.state == JobDone {
+		// An in-flight membership event can outlive the unsubscribe; a
+		// finished job must not grow phantom workers or resurrect its
+		// deleted gauge.
+		j.mu.Unlock()
+		return
+	}
+	for _, m := range added {
+		j.workerSet[m.Worker] = true
+		j.memberWeights[m.Worker] = m.Weight
+	}
+	for _, w := range removed {
+		if len(j.workerSet) == 1 && j.workerSet[w] {
+			// Mirror the engine's floor: a graceful removal that would
+			// leave no worker is refused there, so the status view keeps
+			// the last worker too (a truly dead substrate ends the job
+			// through the crash path shortly anyway).
+			continue
+		}
+		delete(j.workerSet, w)
+		delete(j.memberWeights, w)
+	}
+	if weights != nil {
+		j.pendingWeights = weights
+	}
+	workers := int64(len(j.workerSet))
+	j.flushDeltaLocked()
+	j.mu.Unlock()
+	j.svc.reg.Gauge("service_job_workers_" + metrics.LabelSafe(j.name)).Set(workers)
+}
+
+// flushDeltaLocked tries to bring the engine's membership up to the
+// desired one: the Update carries the diff between workerSet and
+// engineSet, recomputed fresh each call so interleaved failed flushes can
+// never strand a stale delta. TrySend never blocks; on failure (control
+// buffer full) nothing changes and the next result's flush retries — the
+// coordinator drains control on every message, so a job with traffic
+// converges promptly.
+func (j *Job) flushDeltaLocked() {
+	var u engine.Update
+	for w := range j.workerSet {
+		if !j.engineSet[w] {
+			u.Add = append(u.Add, engine.Member{Worker: w, Weight: j.memberWeights[w]})
+		}
+	}
+	for w := range j.engineSet {
+		if !j.workerSet[w] {
+			u.Remove = append(u.Remove, w)
+		}
+	}
+	u.Weights = j.pendingWeights
+	if len(u.Add) == 0 && len(u.Remove) == 0 && u.Weights == nil {
+		return
+	}
+	sort.Slice(u.Add, func(a, b int) bool { return u.Add[a].Worker < u.Add[b].Worker })
+	sort.Ints(u.Remove)
+	if !j.control.TrySend(nil, u) {
+		return
+	}
+	j.engineSet = make(map[int]bool, len(j.workerSet))
+	for w := range j.workerSet {
+		j.engineSet[w] = true
+	}
+	j.pendingWeights = nil
+	j.svc.reg.Counter("service_membership_updates_total").Inc()
+}
+
+// onAllocDelta adapts the fair-share allocator's rebalance callback: the
+// added workers get weights from the cached calibration ranking, and the
+// whole new allocation's re-normalised weight map rides along so dispatch
+// shares stay consistent after the membership change.
+func (j *Job) onAllocDelta(added, removed []int) {
+	gone := make(map[int]bool, len(removed))
+	for _, w := range removed {
+		gone[w] = true
+	}
+	j.mu.Lock()
+	full := make([]int, 0, len(j.workerSet)+len(added))
+	for w := range j.workerSet {
+		if !gone[w] {
+			full = append(full, w)
+		}
+	}
+	j.mu.Unlock()
+	for _, w := range added {
+		full = append(full, w)
+	}
+	sort.Ints(full)
+	weights := j.svc.ranking.Weights(full)
+	members := make([]engine.Member, len(added))
+	for i, w := range added {
+		members[i] = engine.Member{Worker: w, Weight: weights[w]}
+	}
+	j.applyDelta(members, removed, weights)
+}
+
 // onResult records a completion and, during warm-up, accumulates times
 // toward the live threshold installation.
 func (j *Job) onResult(res platform.Result) {
@@ -439,6 +593,8 @@ func (j *Job) onResult(res platform.Result) {
 			j.zMicros = install.Microseconds()
 		}
 	}
+	// Retry any membership delta an earlier full control buffer deferred.
+	j.flushDeltaLocked()
 	j.mu.Unlock()
 	if install > 0 {
 		// The coordinator polls the control channel between events; TrySend
@@ -473,6 +629,17 @@ func (j *Job) finish(rep engine.StreamReport) {
 	j.rep = rep
 	j.state = JobDone
 	j.mu.Unlock()
+	// Return the job's workers to the pool before announcing completion:
+	// the allocator's rebalance hands them to the surviving jobs (work
+	// conservation), and a waiter observing Done must already see the
+	// post-rebalance allocations. A cluster job instead stops watching
+	// node membership.
+	if j.clusterUnsub != nil {
+		j.clusterUnsub()
+	}
+	if j.pool == nil {
+		j.svc.alloc.Leave(j.name)
+	}
 	close(j.done)
 	lost := len(rep.Remaining)
 	for {
@@ -491,18 +658,26 @@ func (j *Job) finish(rep engine.StreamReport) {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	allocated := make([]int, 0, len(j.workerSet))
+	for w := range j.workerSet {
+		allocated = append(allocated, w)
+	}
+	sort.Ints(allocated)
 	st := JobStatus{
-		Name:           j.name,
-		Skeleton:       j.spec.skeleton(),
-		Placement:      j.spec.placement(),
-		State:          j.state,
-		Submitted:      j.submitted,
-		Completed:      j.completed,
-		InFlight:       j.submitted - j.completed,
-		Window:         j.spec.Window,
-		ZMicros:        j.zMicros,
-		Breaches:       j.breaches,
-		Recalibrations: j.recalibrations,
+		Name:             j.name,
+		Skeleton:         j.spec.skeleton(),
+		Placement:        j.spec.placement(),
+		State:            j.state,
+		Share:            j.spec.share(),
+		Workers:          len(allocated),
+		AllocatedWorkers: allocated,
+		Submitted:        j.submitted,
+		Completed:        j.completed,
+		InFlight:         j.submitted - j.completed,
+		Window:           j.spec.Window,
+		ZMicros:          j.zMicros,
+		Breaches:         j.breaches,
+		Recalibrations:   j.recalibrations,
 	}
 	if j.state == JobDone {
 		st.Failures = j.rep.Failures

@@ -16,6 +16,17 @@
 // re-calibrate the job in place (reweighting or remapping, per skeleton)
 // without draining the stream.
 //
+// Worker membership is elastic: the internal/alloc fair-share allocator
+// partitions the local worker slots among the live jobs by their `share`
+// weights (work-conserving — a lone job owns the whole platform, and
+// slots freed by a finishing job flow to the survivors), publishing
+// membership deltas that reach each running skeleton through the engine's
+// control channel with weights drawn from the cached calibration ranking.
+// Cluster jobs get the same elasticity from the coordinator's node
+// events: a graspworker that registers mid-stream joins running jobs'
+// memberships, its register-time benchmark sample becoming its initial
+// dispatch weight.
+//
 // The service runs only on the real runtime (rt.Local): it exists to serve
 // actual traffic, while the simulator remains the domain of the experiment
 // harness.
@@ -28,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"grasp/internal/alloc"
 	"grasp/internal/calibrate"
 	"grasp/internal/cluster"
 	"grasp/internal/metrics"
@@ -60,6 +72,11 @@ type Config struct {
 	// does not set its own (default 100000, capped at 1000000). This is the
 	// knob that keeps a long-lived daemon's memory finite.
 	MaxResults int
+	// DefaultShare is the fair-share weight a job gets when its spec omits
+	// `share` (default 1). Shares partition the local worker slots among
+	// concurrent jobs: a job with share 3 holds ~3× the workers of a
+	// share-1 job, and the split rebalances live as jobs come and go.
+	DefaultShare float64
 	// Cluster, when non-nil, lets jobs declare `placement: cluster`: their
 	// tasks execute on remote graspworker processes registered with this
 	// coordinator instead of the local platform.
@@ -91,37 +108,54 @@ func (c Config) withDefaults() Config {
 	if c.MaxResults > 1_000_000 {
 		c.MaxResults = 1_000_000
 	}
+	if c.DefaultShare <= 0 {
+		c.DefaultShare = 1
+	}
 	return c
 }
 
 // Service owns the shared runtime, platform, calibration cache, and job
 // table. Create one with New; it is safe for concurrent use.
 type Service struct {
-	cfg Config
-	l   *rt.Local
-	pf  platform.Platform
-	reg *metrics.Registry
+	cfg   Config
+	l     *rt.Local
+	pf    platform.Platform
+	reg   *metrics.Registry
+	alloc *alloc.Allocator
 
-	mu   sync.Mutex
-	jobs map[string]*Job
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	pending map[string]bool // names reserved by in-flight Submits
 
 	calOnce sync.Once
 	ranking calibrate.Ranking
 	calErr  error
 }
 
-// New builds a service over a fresh local runtime and platform.
+// New builds a service over a fresh local runtime and platform. The
+// fair-share allocator partitions the platform's worker slots among the
+// live local jobs, so no job assumes it owns the whole platform.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	l := rt.NewLocal()
+	slots := make([]int, cfg.Workers)
+	for i := range slots {
+		slots[i] = i
+	}
 	return &Service{
-		cfg:  cfg,
-		l:    l,
-		pf:   platform.NewLocalPlatform(l, cfg.Workers),
-		reg:  metrics.NewRegistry(),
-		jobs: make(map[string]*Job),
+		cfg:     cfg,
+		l:       l,
+		pf:      platform.NewLocalPlatform(l, cfg.Workers),
+		reg:     metrics.NewRegistry(),
+		alloc:   alloc.New(slots),
+		jobs:    make(map[string]*Job),
+		pending: make(map[string]bool),
 	}
 }
+
+// Allocator exposes the fair-share allocator partitioning the local
+// worker slots (for tests and experiments).
+func (s *Service) Allocator() *alloc.Allocator { return s.alloc }
 
 // Metrics exposes the service's operational counters.
 func (s *Service) Metrics() *metrics.Registry { return s.reg }
@@ -178,12 +212,43 @@ var (
 // when the daemon runs without one).
 func (s *Service) Cluster() *cluster.Coordinator { return s.cfg.Cluster }
 
+// clusterWeights ranks a pool's execution slots by their nodes'
+// register-time benchmark speeds — Algorithm 1's ranking step applied to
+// reported benchmarks instead of fresh probes: each node's speed becomes
+// a predicted probe time, so a node twice as fast starts with twice the
+// dispatch share. Round-trip observations then reweight live via the
+// engine. liveGens restricts the ranking to current registrations (nil
+// means all members): the pool is append-only across loss/rejoin cycles,
+// and normalising over dead generations' slots would dilute the live
+// workers' weights a little more with every churn cycle.
+func clusterWeights(members []cluster.PoolMember, liveGens map[string]int64) map[int]float64 {
+	var workers []int
+	var samples []calibrate.Sample
+	const refOps = 1e6 // nominal probe size; only ratios matter for weights
+	for i, m := range members {
+		if liveGens != nil {
+			if gen, ok := liveGens[m.ID]; !ok || gen != m.Gen {
+				continue
+			}
+		}
+		speed := m.SpeedOPS
+		if speed <= 0 {
+			speed = 1
+		}
+		workers = append(workers, i)
+		samples = append(samples, calibrate.Sample{
+			Worker:    i,
+			Time:      time.Duration(refOps / speed * float64(time.Second)),
+			ProbeCost: refOps,
+		})
+	}
+	return calibrate.Rank(samples, calibrate.TimeOnly).Weights(workers)
+}
+
 // clusterPlatform snapshots the live worker nodes into a per-job platform
-// plus dispatch weights. The weights come from Algorithm 1's ranking step
-// applied to the register-time benchmark samples: each node's reported
-// speed becomes a predicted probe time, so a node twice as fast starts
-// with twice the dispatch share — per-node calibration without a probe
-// round trip. Round-trip observations then reweight live via the engine.
+// plus dispatch weights from their register-time benchmarks. The pool is
+// growable: watchCluster later appends slots for nodes that register
+// while the job runs.
 func (s *Service) clusterPlatform() (*cluster.Pool, []int, map[int]float64, error) {
 	coord := s.cfg.Cluster
 	if coord == nil {
@@ -196,27 +261,85 @@ func (s *Service) clusterPlatform() (*cluster.Pool, []int, map[int]float64, erro
 	pool := cluster.NewPool(coord, s.l, nodes)
 	members := pool.Members() // one worker index per node execution slot
 	workers := make([]int, len(members))
-	samples := make([]calibrate.Sample, len(members))
-	const refOps = 1e6 // nominal probe size; only ratios matter for weights
-	for i, m := range members {
+	for i := range members {
 		workers[i] = i
-		speed := m.SpeedOPS
-		if speed <= 0 {
-			speed = 1
-		}
-		samples[i] = calibrate.Sample{
-			Worker:    i,
-			Time:      time.Duration(refOps / speed * float64(time.Second)),
-			ProbeCost: refOps,
-		}
 	}
-	ranking := calibrate.Rank(samples, calibrate.TimeOnly)
 	s.reg.Counter("service_cluster_calibrations_total").Inc()
-	return pool, workers, ranking.Weights(workers), nil
+	return pool, workers, clusterWeights(members, nil), nil
+}
+
+// liveGens maps node id → generation for the coordinator's live set.
+func liveGens(nodes []cluster.NodeInfo) map[string]int64 {
+	out := make(map[string]int64, len(nodes))
+	for _, ni := range nodes {
+		out[ni.ID] = ni.Gen
+	}
+	return out
+}
+
+// watchCluster subscribes a running cluster job to coordinator membership
+// events, making node join symmetric with the node-loss path: a node that
+// registers mid-stream is admitted into the job's pool (its register-time
+// benchmark sample becoming its initial weight, alongside a re-normalised
+// map for the whole membership), and a node that dies, leaves, or is
+// superseded has its slots gracefully removed — on top of the ErrNodeLost
+// failure path that already retires slots with work in flight.
+func (s *Service) watchCluster(j *Job, coord *cluster.Coordinator, pool *cluster.Pool) {
+	// admitMu serialises the event-dispatcher and snapshot-replay admit
+	// paths: the weight map is recomputed from the pool *after* each
+	// admission, so the last delta's full map always covers every slot
+	// admitted so far — two racing admits could otherwise overwrite the
+	// pending map with a stale one missing the other's slots.
+	var admitMu sync.Mutex
+	admit := func(ni cluster.NodeInfo) {
+		admitMu.Lock()
+		defer admitMu.Unlock()
+		added := pool.Admit(ni)
+		if len(added) == 0 {
+			return
+		}
+		weights := clusterWeights(pool.Members(), liveGens(coord.Live()))
+		members := make([]engine.Member, len(added))
+		for i, w := range added {
+			members[i] = engine.Member{Worker: w, Weight: weights[w]}
+		}
+		j.applyDelta(members, nil, weights)
+		s.reg.Counter("service_cluster_joins_total").Inc()
+	}
+	j.clusterUnsub = coord.Subscribe(func(ev cluster.NodeEvent) {
+		select {
+		case <-j.done:
+			return
+		default:
+		}
+		switch ev.Kind {
+		case cluster.EventUp:
+			admit(ev.Node)
+		case cluster.EventDown:
+			// Under admitMu so a down-event cannot slip between another
+			// path's Admit and its applyDelta — the removal would land on
+			// a workerSet that does not hold the slots yet, and no later
+			// event would ever retire them.
+			admitMu.Lock()
+			if slots := pool.SlotsOf(ev.Node.ID, ev.Node.Gen); len(slots) > 0 {
+				j.applyDelta(nil, slots, nil)
+			}
+			admitMu.Unlock()
+		}
+	})
+	// Close the snapshot→subscribe gap: admit anything that registered in
+	// between (Admit deduplicates, so replaying the snapshot is free).
+	for _, ni := range coord.Live() {
+		admit(ni)
+	}
 }
 
 // Submit registers a new named job and starts its skeleton's engine
-// runner. The name must be unused.
+// runner. The name must be unused. Local jobs join the fair-share
+// allocator — their worker set is their share of the platform, not the
+// whole of it, and it rebalances live as jobs come and go; cluster jobs
+// start on the nodes live at submission and gain nodes that register
+// later through the coordinator membership subscription.
 func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: job name must be non-empty: %w", ErrInvalid)
@@ -224,63 +347,13 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("service: job %q: %v: %w", name, err, ErrInvalid)
 	}
-
-	// Resolve the placement to a platform, worker set, and initial weights:
-	// the local platform calibrated by spin probes, or a per-job snapshot of
-	// the cluster's live nodes weighted by their register-time benchmarks.
-	// Everything downstream is placement-agnostic.
 	explicitWindow := spec.Window > 0
 	spec = spec.withDefaults(s.cfg)
-	var (
-		pf      platform.Platform = s.pf
-		pool    *cluster.Pool
-		workers []int
-		weights map[int]float64
-	)
-	if spec.placement() == PlacementCluster {
-		var err error
-		pool, workers, weights, err = s.clusterPlatform()
-		if err != nil {
-			return nil, fmt.Errorf("service: job %q: %w", name, err)
-		}
-		pf = pool
-		// The service default window is sized to the local worker slots; a
-		// cluster usually has far more execution slots than that, so an
-		// unspecified window grows to cover them — never shrinking below the
-		// local default, which still bounds tiny clusters sensibly.
-		if w := 2 * pool.TotalCapacity(); !explicitWindow && w > spec.Window {
-			spec.Window = w
-		}
-	} else {
-		ranking, err := s.calibration()
-		if err != nil {
-			return nil, fmt.Errorf("service: calibration: %w", err)
-		}
-		workers = make([]int, s.cfg.Workers)
-		for i := range workers {
-			workers[i] = i
-		}
-		weights = ranking.Weights(workers)
-	}
+
 	j := &Job{
-		name:    name,
-		svc:     s,
-		spec:    spec,
-		pf:      pf,
-		pool:    pool,
-		in:      s.l.NewChan("service.in."+name, spec.Window),
-		control: s.l.NewChan("service.control."+name, 4),
-		det: &monitor.Detector{
-			// Z starts disabled; the warm-up installs it via the control
-			// channel once the job's own task times are known. The rule's
-			// observation window covers the job's actual worker set — for a
-			// cluster job that is the pool's slot count, not the daemon's
-			// local workers: a breach should summarise one round over the
-			// whole substrate, not two samples out of forty slots.
-			Rule:       monitor.RuleMinOver,
-			Window:     len(workers),
-			MinSamples: len(workers),
-		},
+		name:  name,
+		svc:   s,
+		spec:  spec,
 		state: JobAccepting,
 		done:  make(chan struct{}),
 	}
@@ -301,11 +374,101 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("service: job %q: %v: %w", name, err, ErrInvalid)
 	}
 
+	// Reserve the name without publishing the job: a half-constructed Job
+	// must never be reachable through s.Job (a concurrent Push would find
+	// a nil input channel), and a duplicate submission must never disturb
+	// running jobs' allocations.
 	s.mu.Lock()
-	if _, dup := s.jobs[name]; dup {
+	if _, dup := s.jobs[name]; dup || s.pending[name] {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("service: job %q: %w", name, ErrJobExists)
 	}
+	s.pending[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, name)
+		s.mu.Unlock()
+	}()
+
+	// The control channel and membership maps must exist before any
+	// membership source can rebalance this job (the allocator may shrink
+	// it the instant a later job joins).
+	j.control = s.l.NewChan("service.control."+name, 16)
+	j.workerSet = make(map[int]bool)
+	j.engineSet = make(map[int]bool)
+	j.memberWeights = make(map[int]float64)
+
+	// Resolve the placement to a platform, worker set, and initial weights:
+	// the job's fair share of the locally calibrated platform, or a
+	// growable pool over the cluster's live nodes weighted by their
+	// register-time benchmarks. Everything downstream is placement-agnostic.
+	var (
+		pf      platform.Platform = s.pf
+		pool    *cluster.Pool
+		workers []int
+		weights map[int]float64
+	)
+	if spec.placement() == PlacementCluster {
+		pool, workers, weights, err = s.clusterPlatform()
+		if err != nil {
+			return nil, fmt.Errorf("service: job %q: %w", name, err)
+		}
+		pf = pool
+		// The service default window is sized to the local worker slots; a
+		// cluster usually has far more execution slots than that, so an
+		// unspecified window grows to cover them — never shrinking below the
+		// local default, which still bounds tiny clusters sensibly.
+		if w := 2 * pool.TotalCapacity(); !explicitWindow && w > spec.Window {
+			spec.Window = w
+			j.spec.Window = w
+		}
+		j.mu.Lock()
+		for _, w := range workers {
+			j.workerSet[w] = true
+			j.engineSet[w] = true // the runner starts with exactly these
+		}
+		j.mu.Unlock()
+	} else {
+		if _, err := s.calibration(); err != nil {
+			return nil, fmt.Errorf("service: calibration: %w", err)
+		}
+		// Holding j.mu across Join makes the initial workerSet atomic with
+		// the callback registration: a rebalance triggered by another
+		// job's submit/finish the instant Join returns serialises after
+		// this critical section instead of racing the snapshot below.
+		// (Join cannot call this job's own callback — the joiner is
+		// excluded from its own rebalance notifications — so there is no
+		// self-deadlock, and no other holder of j.mu ever waits on the
+		// allocator.)
+		j.mu.Lock()
+		workers = s.alloc.Join(name, spec.share(), j.onAllocDelta)
+		for _, w := range workers {
+			j.workerSet[w] = true
+			j.engineSet[w] = true // the runner starts with exactly these
+		}
+		j.mu.Unlock()
+		weights = s.ranking.Weights(workers)
+	}
+	j.pf, j.pool = pf, pool
+	j.in = s.l.NewChan("service.in."+name, spec.Window)
+	j.det = &monitor.Detector{
+		// Z starts disabled; the warm-up installs it via the control
+		// channel once the job's own task times are known. The rule's
+		// observation window covers the job's worker set at submission —
+		// for a cluster job that is the pool's slot count, not the daemon's
+		// local workers: a breach should summarise one round over the
+		// whole substrate, not two samples out of forty slots.
+		Rule:       monitor.RuleMinOver,
+		Window:     len(workers),
+		MinSamples: len(workers),
+	}
+	if pool != nil {
+		s.watchCluster(j, s.cfg.Cluster, pool)
+	}
+
+	// Publish the fully constructed job.
+	s.mu.Lock()
 	s.jobs[name] = j
 	s.mu.Unlock()
 
@@ -313,6 +476,7 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	s.reg.Counter("service_jobs_" + spec.skeleton() + "_total").Inc()
 	s.reg.Counter("service_jobs_placement_" + spec.placement() + "_total").Inc()
 	s.reg.Gauge("service_jobs_active").Add(1)
+	s.reg.Gauge("service_job_workers_" + metrics.LabelSafe(name)).Set(int64(len(workers)))
 
 	s.l.Go("service.job."+name, func(c rt.Ctx) {
 		rep := run(pf, c, j.in, engine.StreamOptions{
@@ -369,6 +533,7 @@ func (s *Service) Remove(name string) error {
 		return fmt.Errorf("service: job %q is not done; close and drain it first", name)
 	}
 	delete(s.jobs, name)
+	s.reg.Delete("service_job_workers_" + metrics.LabelSafe(name))
 	s.reg.Counter("service_jobs_removed_total").Inc()
 	return nil
 }

@@ -15,6 +15,12 @@ import (
 // as soon as the previous one has drained, sized by whatever the admission
 // window has buffered (up to WaveSize), so the skeleton degrades to fine
 // scatters under light load and amortises dispatch under pressure.
+//
+// Elastic membership costs the deal skeleton nothing extra: every wave is
+// partitioned over the engine's membership at fire time (scatterWave reads
+// Core.Live), so a worker admitted mid-stream joins the next wave with its
+// delta-supplied weight and a removed worker is simply left out of it —
+// the between-wave re-partition IS the skeleton's grow/shrink lever.
 
 // StreamParams are the deal skeleton's own knobs; everything adaptive
 // comes from engine.StreamOptions.
@@ -104,7 +110,6 @@ func Stream(params StreamParams) engine.Runner {
 		}
 
 		for {
-			co.DrainControl(c, opts.Control)
 			if eof && pending == 0 && len(buffer) == 0 {
 				break
 			}
@@ -115,6 +120,10 @@ func Stream(params StreamParams) engine.Runner {
 			if !ok {
 				break
 			}
+			// Drain after Recv, not before: an update arriving while the
+			// coordinator is parked must apply before the event that woke
+			// it fires a wave on the stale membership.
+			co.DrainControl(c, opts.Control)
 			m := v.(streamMsg)
 			switch m.kind {
 			case smTask:

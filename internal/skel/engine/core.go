@@ -25,9 +25,10 @@ const (
 	ModeRecalibrate
 )
 
-// Core is the engine's adaptive state: calibrated weights, per-worker
-// recent times, the threshold detector, failure/retire bookkeeping, and
-// the accumulated report. One Core serves one skeleton run and must be
+// Core is the engine's adaptive state: the versioned live worker
+// membership, calibrated weights, per-worker recent times, the threshold
+// detector, failure/retire bookkeeping, and the accumulated report. One
+// Core serves one skeleton run and must be
 // driven from a single coordinator process (the farmer, the dmap master,
 // the pipeline monitor); it is not safe for concurrent use.
 type Core struct {
@@ -36,7 +37,9 @@ type Core struct {
 	Rep StreamReport
 
 	pf            platform.Platform
-	workers       []int
+	workers       []int        // live membership, in admission order
+	member        map[int]bool // membership set (crashed workers are removed)
+	version       int          // bumped on every applied add/remove/retire
 	mode          Mode
 	weights       map[int]float64
 	det           *monitor.Detector
@@ -46,6 +49,7 @@ type Core struct {
 	onResult      func(platform.Result)
 	onRecalibrate func(Breach) (Update, bool)
 	defaultRecal  func(Breach) (Update, bool)
+	onMembership  func(added []Member, removed []int)
 
 	faults   Faults
 	recent   map[int]*stats.Window
@@ -59,13 +63,18 @@ func NewCore(pf platform.Platform, workers []int, mode Mode, start time.Duration
 	if recalWindow <= 0 {
 		recalWindow = 8
 	}
+	member := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		member[w] = true
+	}
 	return &Core{
 		Rep: StreamReport{
 			BusyByWorker:  make(map[int]time.Duration, len(workers)),
 			TasksByWorker: make(map[int]int, len(workers)),
 		},
 		pf:            pf,
-		workers:       workers,
+		workers:       append([]int(nil), workers...),
+		member:        member,
 		mode:          mode,
 		weights:       opts.Weights,
 		det:           opts.Detector,
@@ -89,8 +98,20 @@ func NewCore(pf platform.Platform, workers []int, mode Mode, start time.Duration
 // reweights workers by inverse recent mean time.
 func (co *Core) SetDefaultRecal(f func(Breach) (u Update, changed bool)) { co.defaultRecal = f }
 
-// Workers returns the chosen worker indices.
-func (co *Core) Workers() []int { return co.workers }
+// Workers returns the current live membership in admission order. The
+// slice is a copy: membership can change under the caller's feet.
+func (co *Core) Workers() []int { return append([]int(nil), co.workers...) }
+
+// Version reports the membership version: 0 until the worker set first
+// changes, then bumped once per applied add, remove, or crash retire.
+func (co *Core) Version() int { return co.version }
+
+// SetOnMembership installs the adapter's membership hook, fired once per
+// applied Update that changed the worker set — with the workers actually
+// admitted and removed — so the adapter can adjust its dispatch topology
+// (spawn a demand loop, fold a spare in, remap a stage). Crash retires do
+// not fire the hook: the adapter's own failure path already observed them.
+func (co *Core) SetOnMembership(f func(added []Member, removed []int)) { co.onMembership = f }
 
 // Weight returns worker w's current dispatch weight (uniform when no
 // weights were calibrated).
@@ -128,17 +149,103 @@ func (co *Core) SetWeights(w map[int]float64) {
 	}
 }
 
-// Alive reports whether worker w has not been retired.
-func (co *Core) Alive(w int) bool { return co.faults.Alive(w) }
+// Alive reports whether worker w is a live member: admitted into the
+// membership and not retired by a crash.
+func (co *Core) Alive(w int) bool { return co.member[w] && co.faults.Alive(w) }
 
-// Live returns the non-retired workers, in calibration order.
-func (co *Core) Live() []int { return co.faults.Live(co.workers) }
+// Live returns the live members, in admission order. Every exit path —
+// graceful Remove and crash Retire alike — goes through dropMember, so
+// co.workers holds exactly the live membership and needs no re-filtering.
+func (co *Core) Live() []int { return append([]int(nil), co.workers...) }
+
+// LiveCount counts the live members without allocating — for per-dispatch
+// hot paths that only need the width of the platform.
+func (co *Core) LiveCount() int { return len(co.workers) }
+
+// dropMember removes w from the membership order — the shared tail of the
+// graceful-remove and crash-retire paths.
+func (co *Core) dropMember(w int) {
+	delete(co.member, w)
+	for i, x := range co.workers {
+		if x == w {
+			co.workers = append(co.workers[:i], co.workers[i+1:]...)
+			break
+		}
+	}
+	co.version++
+}
+
+// Add admits worker m.Worker into the live membership mid-run. Workers
+// already members, retired by a crash this run, or outside the platform
+// are refused. A non-positive weight defaults to the mean of the current
+// members' weights.
+func (co *Core) Add(c rt.Ctx, m Member) bool {
+	w := m.Worker
+	if w < 0 || w >= co.pf.Size() || co.member[w] || !co.faults.Alive(w) {
+		return false
+	}
+	co.member[w] = true
+	co.workers = append(co.workers, w)
+	co.version++
+	if co.weights != nil {
+		weight := m.Weight
+		if weight <= 0 {
+			var sum float64
+			for _, v := range co.weights {
+				sum += v
+			}
+			if n := len(co.weights); n > 0 {
+				weight = sum / float64(n)
+			} else {
+				weight = 1
+			}
+		}
+		co.weights[w] = weight
+	}
+	co.Rep.WorkersAdded++
+	if co.log != nil {
+		co.log.Append(trace.Event{
+			At: c.Now(), Kind: trace.KindNote,
+			Node: co.pf.WorkerName(w), Msg: "worker joined membership",
+		})
+	}
+	return true
+}
+
+// Remove gracefully retires worker w from the live membership: it
+// receives no further dispatches, but in-flight work on it completes
+// normally and it may be re-added later. A removal that would leave no
+// live worker is refused — the allocator must never be able to strand a
+// stream (crash retires, which report reality rather than policy, are not
+// so constrained).
+func (co *Core) Remove(c rt.Ctx, w int, note string) bool {
+	if !co.member[w] {
+		return false
+	}
+	if live := co.Live(); len(live) == 1 && live[0] == w {
+		return false
+	}
+	co.dropMember(w)
+	co.Rep.WorkersRemoved++
+	if co.log != nil {
+		co.log.Append(trace.Event{
+			At: c.Now(), Kind: trace.KindNote,
+			Node: co.pf.WorkerName(w), Msg: note,
+		})
+	}
+	return true
+}
 
 // Retire marks worker w dead, logging the note on first detection and
-// reporting whether this call was it.
+// reporting whether this call was it. A retire is the remove path's
+// special case: the worker leaves the membership like a graceful Remove,
+// but it is additionally recorded dead and can never be re-added this run.
 func (co *Core) Retire(c rt.Ctx, w int, note string) bool {
 	if !co.faults.Retire(w) {
 		return false
+	}
+	if co.member[w] {
+		co.dropMember(w)
 	}
 	co.Rep.DeadWorkers = co.faults.Dead
 	if co.log != nil {
@@ -258,10 +365,25 @@ func (co *Core) observeDetector(c rt.Ctx, norm time.Duration) bool {
 	return true
 }
 
-// ApplyUpdate applies a live re-calibration: weights and threshold are
-// replaced, the detector round resets (always after a breach), and the
-// recalibration is counted and logged.
+// ApplyUpdate applies a live re-calibration: membership deltas are
+// admitted and removed (and the adapter's membership hook fired with what
+// actually changed), weights and threshold are replaced, the detector
+// round resets (always after a breach), and the recalibration is counted
+// and logged. Deltas apply before Weights so one Update can admit workers
+// and install a weight map covering them atomically.
 func (co *Core) ApplyUpdate(c rt.Ctx, u Update, breach bool) {
+	var added []Member
+	var removed []int
+	for _, m := range u.Add {
+		if co.Add(c, m) {
+			added = append(added, m)
+		}
+	}
+	for _, w := range u.Remove {
+		if co.Remove(c, w, "worker removed from membership") {
+			removed = append(removed, w)
+		}
+	}
 	if u.Weights != nil {
 		co.weights = u.Weights
 	}
@@ -279,6 +401,9 @@ func (co *Core) ApplyUpdate(c rt.Ctx, u Update, breach bool) {
 			At: c.Now(), Kind: trace.KindRecalibrate,
 			Msg: fmt.Sprintf("recalibration %d (breach=%v)", co.Rep.Recalibrations, breach),
 		})
+	}
+	if (len(added) > 0 || len(removed) > 0) && co.onMembership != nil {
+		co.onMembership(added, removed)
 	}
 }
 
@@ -344,10 +469,13 @@ func (co *Core) reweightByRecentMean(means map[int]time.Duration) Update {
 	return Update{Weights: inv}
 }
 
-// Finish computes the makespan and returns the completed report.
+// Finish computes the makespan, snapshots the final membership, and
+// returns the completed report.
 func (co *Core) Finish() StreamReport {
 	if len(co.Rep.Results) > 0 {
 		co.Rep.Makespan = co.lastDone - co.start
 	}
+	co.Rep.MembershipVersion = co.version
+	co.Rep.FinalWorkers = co.Live()
 	return co.Rep
 }

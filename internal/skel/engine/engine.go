@@ -24,7 +24,14 @@
 //     propagates from the skeleton all the way to the producer;
 //   - failure/retire handling: Faults records executions lost to worker
 //     crashes and retires dead workers from every future dispatch
-//     decision.
+//     decision;
+//   - elastic membership: the worker set is a live, versioned view, not a
+//     start-time constant — control Updates carry Add/Remove deltas, the
+//     Core applies them mid-stream (a crash retire is the remove path's
+//     special case), and each adapter absorbs grow/shrink through its own
+//     recalibration lever (the farm spawns/parks demand loops, the deal
+//     map re-partitions the next wave, the pipeline folds joiners into
+//     its spare pool and remaps stages off leavers).
 //
 // A skeleton adapter is a Runner: it owns the dispatch topology (demand
 // pulls, scatter waves, stage graphs) and delegates every adaptive decision
@@ -89,7 +96,26 @@ type Breach struct {
 	RecentMean map[int]time.Duration
 }
 
-// Update is a live re-calibration applied to a running skeleton.
+// Member is one worker of a run's live membership: the platform worker
+// index plus its initial dispatch weight. Membership deltas (Update.Add)
+// carry Members so a worker joining mid-stream arrives already weighted —
+// from the cached calibration ranking for local jobs, from the node's
+// register-time benchmark for cluster jobs.
+type Member struct {
+	// Worker is the platform worker index.
+	Worker int
+	// Weight is the worker's initial dispatch weight (non-positive: the
+	// mean of the current members' weights, so an unknown worker is
+	// neither starved nor favoured until it reports in).
+	Weight float64
+}
+
+// Update is a live re-calibration applied to a running skeleton. Beyond
+// threshold and weight replacement it carries membership deltas: the
+// worker set is not a start-time constant but a live view that grows and
+// shrinks mid-stream (elastic membership). Deltas are applied before
+// Weights, so one Update can admit workers and install the re-normalised
+// weight map covering them atomically.
 type Update struct {
 	// Weights replaces the dispatch weights when non-nil.
 	Weights map[int]float64
@@ -98,6 +124,14 @@ type Update struct {
 	// ResetDetector discards the detector's current observation round.
 	// Breach-triggered updates always reset regardless of this flag.
 	ResetDetector bool
+	// Add admits workers into the live membership mid-stream. Workers
+	// already members (or retired by a crash this run) are ignored.
+	Add []Member
+	// Remove retires workers from the live membership gracefully: in-flight
+	// work on them completes normally, they just receive no further
+	// dispatches, and — unlike crashed workers — they may be re-added
+	// later. A removal that would leave no live worker is refused.
+	Remove []int
 }
 
 // StreamReport is the skeleton-agnostic outcome of an adaptive run: every
@@ -137,6 +171,17 @@ type StreamReport struct {
 	Recalibrations int
 	// Breaches counts detector breaches.
 	Breaches int
+	// WorkersAdded counts workers admitted into the membership mid-run.
+	WorkersAdded int
+	// WorkersRemoved counts workers gracefully removed mid-run (crashes
+	// are counted in Failures/DeadWorkers instead).
+	WorkersRemoved int
+	// MembershipVersion is the final membership version: 0 when the worker
+	// set never changed, bumped once per applied add/remove/retire.
+	MembershipVersion int
+	// FinalWorkers is the live membership at the end of the run, in
+	// admission order.
+	FinalWorkers []int
 }
 
 // Runner is the uniform entry point every skeleton adapter satisfies:

@@ -1,0 +1,250 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"grasp/internal/platform"
+	"grasp/internal/rt"
+	"grasp/internal/skel/engine"
+)
+
+// The elastic-membership property suite: for every streaming skeleton
+// under the engine contract, the worker set may grow and shrink
+// arbitrarily mid-stream (as the service layer's fair-share allocator
+// does to competing jobs) and the engine invariants must survive — every
+// admitted task completes exactly once, nothing remains on a clean drain,
+// and the stream's completed set equals the batch baseline's.
+
+// membershipAdapters lists the streaming skeletons with enough structure
+// to exercise grow/shrink (the same set the engine contract suite runs).
+func membershipAdapters() []adapter {
+	return adapters()
+}
+
+// runMembershipStream drives one runner over n tasks starting from
+// initial workers, applying the scripted membership updates interleaved
+// with production: after every `stride` tasks fed, the next update is
+// injected on the control channel. Updates are guaranteed to apply
+// because traffic keeps flowing after each injection.
+func runMembershipStream(t *testing.T, runner engine.Runner, platformSize int, initial []int,
+	tasks []platform.Task, updates []engine.Update, stride int) engine.StreamReport {
+	t.Helper()
+	l := rt.NewLocal()
+	pf := platform.NewLocalPlatform(l, platformSize)
+	in := l.NewChan("in", 1)
+	control := l.NewChan("control", len(updates)+4)
+	l.Go("producer", func(c rt.Ctx) {
+		next := 0
+		for i, task := range tasks {
+			if next < len(updates) && i > 0 && i%stride == 0 {
+				control.TrySend(c, updates[next])
+				next++
+			}
+			in.Send(c, task)
+		}
+		for ; next < len(updates); next++ {
+			// Leftover updates still land before the tail of the stream
+			// drains; the coordinator polls control before every event.
+			control.TrySend(c, updates[next])
+		}
+		in.Close(c)
+	})
+	var rep engine.StreamReport
+	l.Go("root", func(c rt.Ctx) {
+		rep = runner(pf, c, in, engine.StreamOptions{
+			Workers: append([]int(nil), initial...),
+			Window:  6,
+			Control: control,
+		})
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// assertExactlyOnce checks the report completed ids 0..n-1 exactly once
+// with nothing remaining.
+func assertExactlyOnce(t *testing.T, rep engine.StreamReport, n int) map[int]bool {
+	t.Helper()
+	seen := make(map[int]bool, n)
+	for _, r := range rep.Results {
+		if seen[r.Task.ID] {
+			t.Errorf("task %d completed twice", r.Task.ID)
+		}
+		seen[r.Task.ID] = true
+	}
+	if len(rep.Results) != n {
+		t.Errorf("results = %d, want %d", len(rep.Results), n)
+	}
+	if len(rep.Remaining) != 0 {
+		t.Errorf("remaining = %d on a clean drain", len(rep.Remaining))
+	}
+	if rep.Admitted != n {
+		t.Errorf("admitted = %d, want %d", rep.Admitted, n)
+	}
+	return seen
+}
+
+// TestMembershipGrowShrinkEverySkeleton scripts a deterministic grow →
+// shrink → re-admit sequence against every skeleton and checks the
+// stream==batch invariant plus the membership accounting.
+func TestMembershipGrowShrinkEverySkeleton(t *testing.T) {
+	const n = 60
+	updates := []engine.Update{
+		{Add: []engine.Member{{Worker: 3, Weight: 0.25}, {Worker: 4, Weight: 0.25}}},
+		{Remove: []int{1}},
+		{Add: []engine.Member{{Worker: 5, Weight: 0.2}}, Remove: []int{3}},
+		{Add: []engine.Member{{Worker: 1, Weight: 0.2}}}, // re-admit a removed worker
+	}
+	for _, ad := range membershipAdapters() {
+		ad := ad
+		t.Run(ad.name, func(t *testing.T) {
+			rep := runMembershipStream(t, ad.runner, 6, []int{0, 1, 2},
+				fnTasks(n, 100*time.Microsecond), updates, 8)
+			seen := assertExactlyOnce(t, rep, n)
+
+			if rep.WorkersAdded != 4 {
+				t.Errorf("WorkersAdded = %d, want 4 (3, 4, 5, and 1 re-admitted)", rep.WorkersAdded)
+			}
+			if rep.WorkersRemoved != 2 {
+				t.Errorf("WorkersRemoved = %d, want 2", rep.WorkersRemoved)
+			}
+			if rep.MembershipVersion == 0 {
+				t.Error("membership version never advanced")
+			}
+			// Final membership: {0,2,4,5,1} in admission order.
+			final := map[int]bool{}
+			for _, w := range rep.FinalWorkers {
+				final[w] = true
+			}
+			for _, w := range []int{0, 1, 2, 4, 5} {
+				if !final[w] {
+					t.Errorf("final membership %v missing worker %d", rep.FinalWorkers, w)
+				}
+			}
+			if final[3] {
+				t.Errorf("final membership %v still holds removed worker 3", rep.FinalWorkers)
+			}
+
+			batch := ad.batch(t, 3, fnTasks(n, 100*time.Microsecond))
+			if len(batch) != len(seen) {
+				t.Fatalf("stream completed %d distinct tasks, batch %d", len(seen), len(batch))
+			}
+			for id := range batch {
+				if !seen[id] {
+					t.Errorf("batch completed task %d, stream did not", id)
+				}
+			}
+		})
+	}
+}
+
+// TestMembershipRandomChurnEverySkeleton is the randomized property: a
+// seeded generator produces arbitrary add/remove sequences (never
+// removing the last member — the allocator's floor) and the exactly-once
+// invariant must hold for every skeleton on every seed.
+func TestMembershipRandomChurnEverySkeleton(t *testing.T) {
+	const (
+		n            = 50
+		platformSize = 6
+		churnSteps   = 12
+	)
+	for _, ad := range membershipAdapters() {
+		ad := ad
+		for seed := int64(1); seed <= 3; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", ad.name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				member := map[int]bool{0: true, 1: true, 2: true}
+				var updates []engine.Update
+				for i := 0; i < churnSteps; i++ {
+					var candidates []int
+					if rng.Intn(2) == 0 {
+						for w := 0; w < platformSize; w++ {
+							if !member[w] {
+								candidates = append(candidates, w)
+							}
+						}
+						if len(candidates) > 0 {
+							w := candidates[rng.Intn(len(candidates))]
+							member[w] = true
+							updates = append(updates, engine.Update{
+								Add: []engine.Member{{Worker: w, Weight: rng.Float64()}},
+							})
+							continue
+						}
+					}
+					for w := 0; w < platformSize; w++ {
+						if member[w] {
+							candidates = append(candidates, w)
+						}
+					}
+					if len(candidates) <= 1 {
+						continue // never remove the last member
+					}
+					w := candidates[rng.Intn(len(candidates))]
+					delete(member, w)
+					updates = append(updates, engine.Update{Remove: []int{w}})
+				}
+				rep := runMembershipStream(t, ad.runner, platformSize, []int{0, 1, 2},
+					fnTasks(n, 50*time.Microsecond), updates, 4)
+				assertExactlyOnce(t, rep, n)
+			})
+		}
+	}
+}
+
+// TestRemoveWhileInFlightEverySkeleton removes a worker while it is
+// guaranteed to hold in-flight work (every task is slow relative to the
+// injection point): the in-flight work must complete normally — graceful
+// removal, unlike a crash, never loses or re-executes a task — and the
+// worker must leave the membership.
+func TestRemoveWhileInFlightEverySkeleton(t *testing.T) {
+	const n = 24
+	for _, ad := range membershipAdapters() {
+		ad := ad
+		t.Run(ad.name, func(t *testing.T) {
+			rep := runMembershipStream(t, ad.runner, 3, []int{0, 1, 2},
+				fnTasks(n, 2*time.Millisecond),
+				[]engine.Update{{Remove: []int{2}}}, 6)
+			assertExactlyOnce(t, rep, n)
+			if rep.WorkersRemoved != 1 {
+				t.Errorf("WorkersRemoved = %d, want 1", rep.WorkersRemoved)
+			}
+			if rep.Failures != 0 {
+				t.Errorf("graceful removal produced %d failures", rep.Failures)
+			}
+			for _, w := range rep.FinalWorkers {
+				if w == 2 {
+					t.Errorf("removed worker 2 still in final membership %v", rep.FinalWorkers)
+				}
+			}
+		})
+	}
+}
+
+// TestLastWorkerRemovalRefused checks the engine's floor: a graceful
+// removal that would leave the stream with no live worker is refused, so
+// an allocator bug can never strand admitted tasks.
+func TestLastWorkerRemovalRefused(t *testing.T) {
+	for _, ad := range membershipAdapters() {
+		ad := ad
+		t.Run(ad.name, func(t *testing.T) {
+			const n = 16
+			rep := runMembershipStream(t, ad.runner, 2, []int{0, 1},
+				fnTasks(n, 200*time.Microsecond),
+				[]engine.Update{{Remove: []int{0}}, {Remove: []int{1}}}, 4)
+			assertExactlyOnce(t, rep, n)
+			if rep.WorkersRemoved != 1 {
+				t.Errorf("WorkersRemoved = %d, want exactly 1 (the second removal must be refused)", rep.WorkersRemoved)
+			}
+			if len(rep.FinalWorkers) != 1 {
+				t.Errorf("final membership %v, want exactly the surviving worker", rep.FinalWorkers)
+			}
+		})
+	}
+}

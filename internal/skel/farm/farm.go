@@ -215,33 +215,37 @@ func Run(pf platform.Platform, c rt.Ctx, tasks []platform.Task, opts Options) Re
 }
 
 // spawnWorkers starts one demand-driven worker process per index, shared
-// by the batch and streaming farms: request a chunk on inbox, execute it,
-// stream results back, and exit on an empty chunk or a closed reply
-// channel, announcing the exit with msgDone.
+// by the batch and streaming farms.
 func spawnWorkers(pf platform.Platform, c rt.Ctx, inbox rt.Chan, workers []int, prefix string) {
-	runtime := pf.Runtime()
 	for _, w := range workers {
-		w := w
-		reply := runtime.NewChan(fmt.Sprintf("%s.reply.%d", prefix, w), 1)
-		c.Go(fmt.Sprintf("%s.worker.%s", prefix, pf.WorkerName(w)), func(cc rt.Ctx) {
-			for {
-				inbox.Send(cc, message{kind: msgRequest, worker: w, reply: reply})
-				v, ok := reply.Recv(cc)
-				if !ok {
-					break
-				}
-				chunk := v.([]platform.Task)
-				if len(chunk) == 0 {
-					break
-				}
-				for _, task := range chunk {
-					res := pf.Exec(cc, w, task)
-					inbox.Send(cc, message{kind: msgResult, worker: w, result: res})
-				}
-			}
-			inbox.Send(cc, message{kind: msgDone, worker: w})
-		})
+		spawnWorker(pf, c, inbox, w, prefix)
 	}
+}
+
+// spawnWorker starts one demand-driven worker process: request a chunk on
+// inbox, execute it, stream results back, and exit on an empty chunk or a
+// closed reply channel, announcing the exit with msgDone. The streaming
+// farm also calls this mid-run when a worker joins the membership.
+func spawnWorker(pf platform.Platform, c rt.Ctx, inbox rt.Chan, w int, prefix string) {
+	reply := pf.Runtime().NewChan(fmt.Sprintf("%s.reply.%d", prefix, w), 1)
+	c.Go(fmt.Sprintf("%s.worker.%s", prefix, pf.WorkerName(w)), func(cc rt.Ctx) {
+		for {
+			inbox.Send(cc, message{kind: msgRequest, worker: w, reply: reply})
+			v, ok := reply.Recv(cc)
+			if !ok {
+				break
+			}
+			chunk := v.([]platform.Task)
+			if len(chunk) == 0 {
+				break
+			}
+			for _, task := range chunk {
+				res := pf.Exec(cc, w, task)
+				inbox.Send(cc, message{kind: msgResult, worker: w, result: res})
+			}
+		}
+		inbox.Send(cc, message{kind: msgDone, worker: w})
+	})
 }
 
 // RunStatic executes tasks under a fixed task-to-worker partition: the

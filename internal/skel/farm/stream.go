@@ -13,9 +13,14 @@ import (
 // engine's shared adaptive contract: tasks arrive on a channel, admission
 // is bounded by the engine's credit window (backpressure), and a breach
 // recalibrates the farm in place — dispatch never drains. Everything
-// adaptive (weights, the detector, recalibration, failure/retire, the
-// control channel) is the engine's; this file owns only the farm's
-// topology: parked worker requests served chunks of pending tasks.
+// adaptive (weights, the detector, recalibration, failure/retire, live
+// membership, the control channel) is the engine's; this file owns only
+// the farm's topology: parked worker requests served chunks of pending
+// tasks. Membership is elastic: a worker admitted mid-stream gets its own
+// demand loop spawned on the spot, and a removed worker simply stops
+// being fed — its in-flight chunk completes, its next request is answered
+// with an empty chunk, and its loop parks out (to be respawned if the
+// worker is later re-admitted).
 
 // BreachInfo describes a mid-stream detector breach to OnRecalibrate. It
 // is the engine's breach event; the alias remains for farm-first callers.
@@ -130,9 +135,19 @@ func Stream(chunk sched.ChunkPolicy) engine.Runner {
 			released bool // empty chunks sent: workers are shutting down
 			live     = len(workers)
 		)
+		// loopActive tracks which worker indices currently have a demand
+		// loop, so a worker that leaves and rejoins the membership while its
+		// old loop is still draining never ends up with two loops.
+		loopActive := make(map[int]bool, len(workers))
+		for _, w := range workers {
+			loopActive[w] = true
+		}
 
 		// serve hands the front parked worker a chunk of pending tasks.
+		// Membership cannot change inside one serve call, so the live
+		// count is hoisted out of the dispatch loop.
 		serve := func() {
+			nLive := co.LiveCount()
 			for len(parked) > 0 && len(pending) > 0 {
 				p := parked[0]
 				parked = parked[0:copy(parked, parked[1:])]
@@ -140,9 +155,9 @@ func Stream(chunk sched.ChunkPolicy) engine.Runner {
 					p.reply.Send(c, []platform.Task{})
 					continue
 				}
-				n := policy.Chunk(len(pending), len(workers), co.Weight(p.worker))
+				n := policy.Chunk(len(pending), nLive, co.Weight(p.worker))
 				if wc, isWC := policy.(sched.WorkerChunker); isWC {
-					n = wc.ChunkFor(p.worker, len(pending), len(workers), co.Weight(p.worker))
+					n = wc.ChunkFor(p.worker, len(pending), nLive, co.Weight(p.worker))
 				}
 				if n > len(pending) {
 					n = len(pending)
@@ -176,12 +191,35 @@ func Stream(chunk sched.ChunkPolicy) engine.Runner {
 			parked = parked[:0]
 		}
 
+		// Membership deltas from the control channel: an admitted worker
+		// gets a demand loop on the spot; a removed worker needs nothing
+		// here — serve() stops feeding it, its loop exits on the next empty
+		// chunk, and msgDone below retires (or respawns) the loop.
+		co.SetOnMembership(func(added []engine.Member, removed []int) {
+			if released {
+				return
+			}
+			for _, m := range added {
+				if loopActive[m.Worker] {
+					continue // the old loop is still draining; it resumes serving
+				}
+				loopActive[m.Worker] = true
+				live++
+				spawnWorker(pf, c, inbox, m.Worker, "farm.stream")
+			}
+		})
+
 		for live > 0 {
-			co.DrainControl(c, opts.Control)
 			v, ok := inbox.Recv(c)
 			if !ok {
 				break
 			}
+			// Drain after Recv, not before: a control update (threshold,
+			// weights, membership) that arrives while the farmer is parked
+			// must apply before the message that woke it is served, or the
+			// first dispatch after an idle period would use the stale
+			// membership.
+			co.DrainControl(c, opts.Control)
 			m := v.(message)
 			switch m.kind {
 			case msgTask:
@@ -222,6 +260,13 @@ func Stream(chunk sched.ChunkPolicy) engine.Runner {
 				co.Complete(c, res)
 				release()
 			case msgDone:
+				if !released && co.Alive(m.worker) {
+					// The worker rejoined the membership while its old loop
+					// was exiting: restart the loop in place.
+					spawnWorker(pf, c, inbox, m.worker, "farm.stream")
+					continue
+				}
+				loopActive[m.worker] = false
 				live--
 			}
 		}

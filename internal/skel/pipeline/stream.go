@@ -23,7 +23,10 @@ import (
 //
 // A monitoring coordinator owns the detector and the engine core; stage
 // processes report each execution as an event, so no adaptive state is
-// ever touched concurrently.
+// ever touched concurrently. Membership is elastic through the same
+// structural lever: workers joining mid-stream become spares (and host
+// any stranded stage immediately), workers leaving are dropped from the
+// spare pool and their stages remapped to live spares.
 
 // StreamParams are the pipeline's own knobs; everything adaptive comes
 // from engine.StreamOptions.
@@ -121,6 +124,32 @@ func Stream(params StreamParams) engine.Runner {
 			return engine.Update{}, false
 		})
 
+		// Elastic membership through the pipeline's structural lever: a
+		// worker admitted mid-stream joins the spare pool (and immediately
+		// hosts any stage stranded on a non-live worker); a removed worker
+		// is dropped from the spares and any stage it hosts is remapped to
+		// a live spare when one exists. With no spare the stage keeps
+		// executing on the removed worker — platform slots outlive
+		// membership, so a graceful shrink below the stage count degrades
+		// to best effort rather than stalling the stream — and the next
+		// join migrates it off.
+		co.SetOnMembership(func(added []engine.Member, removed []int) {
+			for _, mem := range added {
+				m.addSpare(mem.Worker)
+			}
+			for _, w := range removed {
+				m.dropSpare(w)
+			}
+			for si := 0; si < stages; si++ {
+				if w := m.workerOf(si); !co.Alive(w) {
+					if from, to, ok := m.remapAlive(si, co.Alive); ok {
+						logAdaptEvent(opts.Log, c, pf, fmt.Sprintf("remap stage %d %s→%s (membership change)",
+							si, pf.WorkerName(from), pf.WorkerName(to)))
+					}
+				}
+			}
+		})
+
 		runtime := pf.Runtime()
 		events := runtime.NewChan("pipe.stream.events", window*(stages+2)+8)
 		chans := make([]rt.Chan, stages+1)
@@ -207,11 +236,14 @@ func Stream(params StreamParams) engine.Runner {
 		}
 		stagesDone := 0
 		for stagesDone < stages {
-			co.DrainControl(c, opts.Control)
 			v, ok := events.Recv(c)
 			if !ok {
 				break
 			}
+			// Drain after Recv, not before: an update arriving while the
+			// coordinator is parked must apply before the event that woke
+			// it is handled.
+			co.DrainControl(c, opts.Control)
 			ev := v.(pevent)
 			if ev.kind == pevStageDone {
 				stagesDone++
@@ -233,6 +265,37 @@ func Stream(params StreamParams) engine.Runner {
 		intake.Close(c)
 		co.Rep.Admitted = intake.Admitted()
 		return co.Finish()
+	}
+}
+
+// addSpare returns a (re-)admitted worker to the spare pool, unless it is
+// already a spare or currently hosts a stage.
+func (m *mapping) addSpare(w int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.spares {
+		if s == w {
+			return
+		}
+	}
+	for _, s := range m.stage {
+		if s == w {
+			return
+		}
+	}
+	m.spares = append(m.spares, w)
+}
+
+// dropSpare removes a worker leaving the membership from the spare pool
+// (stages it hosts are handled by the caller's remap pass).
+func (m *mapping) dropSpare(w int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.spares {
+		if s == w {
+			m.spares = append(m.spares[:i], m.spares[i+1:]...)
+			return
+		}
 	}
 }
 
