@@ -19,6 +19,7 @@ import (
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
+	"grasp/internal/service"
 	"grasp/internal/skel/adapt"
 	"grasp/internal/skel/engine"
 )
@@ -30,6 +31,7 @@ import (
 type BenchResult struct {
 	Skeleton       string  `json:"skeleton"`
 	NodeCount      int     `json:"node_count"`
+	Durable        bool    `json:"durable,omitempty"`
 	Tasks          int     `json:"tasks"`
 	Workers        int     `json:"workers"`
 	Window         int     `json:"window"`
@@ -213,16 +215,96 @@ func benchClusterFarm(seed int64) (BenchResult, error) {
 	return out, nil
 }
 
-// runSkelBench benches every skeleton (plus the distributed farm) and
-// writes the JSON record to path.
+// benchDurableFarm streams the same workload shape through the service
+// layer with the write-ahead journal on the path: every accepted batch
+// and every result ack is journaled and fsynced before it becomes
+// observable. The durable=true row prices that fsync discipline next to
+// the in-memory rows across PRs.
+func benchDurableFarm(seed int64) (BenchResult, error) {
+	const (
+		workers = 4
+		window  = 8
+		nFast   = 150
+		nSlow   = 50
+	)
+	dir, err := os.MkdirTemp("", "graspbench-wal-")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	svc, err := service.Open(service.Config{Workers: workers, WarmupTasks: 8, DataDir: dir})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svc.Close()
+	j, err := svc.Submit("bench-durable", service.JobSpec{Window: window})
+	if err != nil {
+		return BenchResult{}, err
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ 0xd00b))
+	specs := make([]service.TaskSpec, nFast+nSlow)
+	for i := range specs {
+		d := 100 * time.Microsecond
+		if i >= nFast {
+			d = 2 * time.Millisecond
+		}
+		d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+		specs[i] = service.TaskSpec{ID: i, Cost: 1, SleepUS: d.Microseconds()}
+	}
+	start := time.Now()
+	if _, err := j.Push(specs); err != nil {
+		return BenchResult{}, err
+	}
+	if err := j.CloseInput(); err != nil {
+		return BenchResult{}, err
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		return BenchResult{}, fmt.Errorf("durable bench did not drain")
+	}
+	elapsed := time.Since(start)
+
+	st := j.Status()
+	rep := j.Report()
+	out := BenchResult{
+		Skeleton:       "farm",
+		NodeCount:      1,
+		Durable:        true,
+		Tasks:          st.Completed,
+		Workers:        workers,
+		Window:         window,
+		ElapsedUS:      elapsed.Microseconds(),
+		MakespanUS:     rep.Makespan.Microseconds(),
+		Breaches:       st.Breaches,
+		Recalibrations: st.Recalibrations,
+		MaxInFlight:    st.MaxInFlight,
+		Failures:       rep.Failures,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		out.ThroughputTPS = float64(st.Completed) / secs
+	}
+	if st.Completed != nFast+nSlow {
+		return out, fmt.Errorf("durable bench completed %d of %d tasks", st.Completed, nFast+nSlow)
+	}
+	return out, nil
+}
+
+// runSkelBench benches every skeleton (plus the distributed farm and the
+// journaled farm) and writes the JSON record to path.
 func runSkelBench(path string, seed int64, quiet bool) error {
 	file := BenchFile{GeneratedUnix: time.Now().Unix(), Seed: seed}
 	report := func(res BenchResult) {
 		if quiet {
 			return
 		}
-		fmt.Printf("bench %-9s nodes=%d %4d tasks  %8.0f tasks/s  makespan %s  breaches=%d recals=%d\n",
-			res.Skeleton, res.NodeCount, res.Tasks, res.ThroughputTPS,
+		tag := ""
+		if res.Durable {
+			tag = " durable"
+		}
+		fmt.Printf("bench %-9s nodes=%d%s %4d tasks  %8.0f tasks/s  makespan %s  breaches=%d recals=%d\n",
+			res.Skeleton, res.NodeCount, tag, res.Tasks, res.ThroughputTPS,
 			time.Duration(res.MakespanUS)*time.Microsecond, res.Breaches, res.Recalibrations)
 	}
 	for _, name := range adapt.Names() {
@@ -240,6 +322,12 @@ func runSkelBench(path string, seed int64, quiet bool) error {
 	}
 	file.Results = append(file.Results, res)
 	report(res)
+	durable, err := benchDurableFarm(seed)
+	if err != nil {
+		return err
+	}
+	file.Results = append(file.Results, durable)
+	report(durable)
 	raw, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err

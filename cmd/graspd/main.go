@@ -32,8 +32,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"grasp/internal/cluster"
@@ -46,6 +48,33 @@ import (
 func newDaemon(cfg service.Config) (http.Handler, *service.Service) {
 	s := service.New(cfg)
 	return service.NewHandler(s), s
+}
+
+// openDaemon is newDaemon for durable configurations: with a DataDir set
+// it replays the journal (recovering jobs and the cluster registry)
+// before any handler exists, so no request can observe pre-recovery
+// state.
+func openDaemon(cfg service.Config) (http.Handler, *service.Service, error) {
+	s, err := service.Open(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return service.NewHandler(s), s, nil
+}
+
+// shutdownOnSignal blocks until a signal arrives, then performs the
+// graceful shutdown: Close flushes a final snapshot and fsyncs the
+// journal, so a SIGTERM'd daemon restarts from a compacted, fully
+// durable image. exit is os.Exit in main; tests substitute a recorder.
+func shutdownOnSignal(sigc <-chan os.Signal, s *service.Service, exit func(int)) {
+	sig := <-sigc
+	log.Printf("graspd: caught %v, flushing journal and shutting down", sig)
+	if err := s.Close(); err != nil {
+		log.Printf("graspd: shutdown flush failed: %v", err)
+		exit(1)
+		return
+	}
+	exit(0)
 }
 
 // parseShares parses the -shares list ("1,3" → {1, 3}).
@@ -75,6 +104,8 @@ func main() {
 		defaultShare  = flag.Float64("default-share", 1, "fair-share weight for jobs that omit `share`")
 		clusterListen = flag.String("cluster-listen", "", "serve the worker-node protocol on this address (empty = cluster disabled)")
 		deadAfter     = flag.Duration("dead-after", 3*time.Second, "cluster: declare a silent worker node dead after this long")
+		dataDir       = flag.String("data-dir", "", "durability: journal job state under this directory and recover it on restart (empty = in-memory only)")
+		maxJournal    = flag.Int64("max-journal-bytes", 0, "durability: compact the journal into a snapshot past this size (0 = 8 MiB)")
 		drive         = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
 		jobs          = flag.Int("jobs", 3, "drive: concurrent jobs")
 		tasks         = flag.Int("tasks", 200, "drive: tasks per job")
@@ -130,13 +161,26 @@ func main() {
 		ThresholdFactor: *factor,
 		MaxResults:      *maxResults,
 		DefaultShare:    *defaultShare,
+		DataDir:         *dataDir,
+		MaxJournalBytes: *maxJournal,
 	}
+	var coord *cluster.Coordinator
 	if *clusterListen != "" {
-		coord := cluster.NewCoordinator(cluster.Config{
+		coord = cluster.NewCoordinator(cluster.Config{
 			DeadAfter: *deadAfter,
 			Logf:      log.Printf,
 		})
 		cfg.Cluster = coord
+	}
+	// Open replays the journal and restores the coordinator's generation
+	// and dispatch-id floors; the cluster listener must not accept a
+	// single registration before that, or a recycled generation could
+	// validate a dead process's credentials.
+	h, s, err := openDaemon(cfg)
+	if err != nil {
+		log.Fatalf("graspd: %v", err)
+	}
+	if coord != nil {
 		go func() {
 			log.Printf("graspd cluster coordinator on %s (dead-after %v)", *clusterListen, *deadAfter)
 			if err := http.ListenAndServe(*clusterListen, coord.Handler()); err != nil {
@@ -144,7 +188,12 @@ func main() {
 			}
 		}()
 	}
-	h, s := newDaemon(cfg)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go shutdownOnSignal(sigc, s, os.Exit)
+	if *dataDir != "" {
+		log.Printf("graspd journaling to %s", *dataDir)
+	}
 	log.Printf("graspd serving on %s (%d workers)", *addr, s.Workers())
 	if err := http.ListenAndServe(*addr, h); err != nil {
 		log.Fatal(err)

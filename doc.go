@@ -102,6 +102,27 @@
 // The daemon exposes node administration at /api/v1/nodes, per-node
 // execution tallies in cluster job statuses, and cluster gauges in
 // /metrics. See README.md's cluster quickstart.
+//
+// # Durability layer
+//
+// internal/journal is the storage primitive under the control plane: an
+// append-only write-ahead log of CRC-framed records with a torn-tail
+// truncation rule, plus a snapshot/compaction store (epoch-named journal
+// files folded into a single fsynced snapshot). The service layer
+// journals every externally visible mutation — job creation, accepted
+// task batches, acknowledged results, close, completion, removal, and
+// the cluster registry's generation/dispatch-id ceilings — and fsyncs
+// before the mutation's effects become observable: "accepted" implies
+// "survives a crash", and a result a poller's cursor has advanced past
+// can never be re-delivered after a restart. A graspd started with
+// -data-dir replays snapshot+journal on startup (before the cluster
+// listener accepts a single registration), resumes unfinished jobs at
+// their last durable cursor, re-delivers exactly the un-acked tasks, and
+// re-adopts surviving workers through the normal re-register path;
+// SIGTERM flushes a final compacting snapshot. E26 and the
+// fault-injection recovery suite (TestRecovery*, FuzzJournalReplay,
+// TestClusterE2EDaemonRecovery) prove the exactly-once contract across
+// SIGKILL. See README.md's Durability section.
 package grasp
 
 //go:generate go run ./cmd/graspbench -write-docs

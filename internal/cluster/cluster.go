@@ -185,6 +185,12 @@ type Coordinator struct {
 	nodes        map[string]*node
 	nextGen      int64
 	nextDispatch int64
+	// Durability (see durable.go): persist receives the registry's durable
+	// state under co.mu; the ceilings are the journaled bounds under which
+	// gens and dispatch ids may be handed out.
+	persist         func(RegistryState)
+	genCeiling      int64
+	dispatchCeiling int64
 
 	watcherMu   sync.Mutex
 	watchers    map[int]func(NodeEvent)
@@ -322,6 +328,7 @@ func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	if old, ok := co.nodes[req.ID]; ok && old.state == StateLive {
 		co.expireLocked(old, StateDead, "superseded by re-registration")
 	}
+	co.reserveGenLocked()
 	co.nextGen++
 	now := time.Now()
 	n := &node{
@@ -337,6 +344,7 @@ func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 		gone:       make(chan struct{}),
 	}
 	co.nodes[req.ID] = n
+	co.persistLocked()
 	co.reg.Counter("cluster_registers_total").Inc()
 	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
 	co.logf("cluster: node %s registered (gen %d, capacity %d, %.0f ops/s)",
@@ -414,6 +422,7 @@ func (co *Coordinator) expireLocked(n *node, state, cause string) {
 	}
 	n.failed += int64(lost)
 	close(n.gone)
+	co.persistLocked()
 	co.reg.Counter("cluster_deaths_total").Inc()
 	co.reg.Counter("cluster_tasks_failed_total").Add(int64(lost))
 	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
@@ -455,15 +464,30 @@ func (co *Coordinator) sweep() {
 			case n.state == StateLive:
 				co.requeueExpiredLeasesLocked(n, now)
 			case now.Sub(n.lastSeen) > co.cfg.DeadRetention:
-				delete(co.nodes, id)
-				safe := metrics.LabelSafe(id)
-				co.reg.Delete("cluster_node_inflight_" + safe)
-				co.reg.Delete("cluster_node_" + safe + "_completed_total")
-				co.reg.Counter("cluster_nodes_pruned_total").Inc()
+				co.pruneLocked(id)
 			}
 		}
 		co.mu.Unlock()
 	}
+}
+
+// pruneLocked drops a long-expired registration and its per-node metric
+// series. It is idempotent, and it holds the invariant that makes the
+// deletion safe against resurrection: every per-node series write in the
+// coordinator happens under co.mu after a successful lookup, so once the
+// entry is gone here no concurrent Lease/Results can re-create the series
+// with a stale value. (The writes used to happen after releasing co.mu,
+// which let a pre-prune lookup's metric update land post-prune and leak
+// the series forever — visible as a flake under -race -shuffle=on.)
+func (co *Coordinator) pruneLocked(id string) {
+	if _, ok := co.nodes[id]; !ok {
+		return
+	}
+	delete(co.nodes, id)
+	safe := metrics.LabelSafe(id)
+	co.reg.Delete("cluster_node_inflight_" + safe)
+	co.reg.Delete("cluster_node_" + safe + "_completed_total")
+	co.reg.Counter("cluster_nodes_pruned_total").Inc()
 }
 
 // requeueExpiredLeasesLocked redelivers in-flight dispatches whose lease
@@ -503,6 +527,7 @@ func (co *Coordinator) submit(id string, gen int64, task int, w Work) (<-chan di
 		co.mu.Unlock()
 		return nil, err
 	}
+	co.reserveDispatchLocked()
 	co.nextDispatch++
 	d := &dispatch{
 		id:   co.nextDispatch,
@@ -552,7 +577,13 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 			out = append(out, WireTask{Dispatch: d.id, Task: d.task, Work: d.work})
 		}
 		n.queue = n.queue[0:copy(n.queue, n.queue[take:])]
-		inflight, queued := len(n.inflight), len(n.queue)
+		if take > 0 {
+			// The per-node gauge is written under co.mu so it can never race
+			// the sweeper's prune of this node's series (see pruneLocked).
+			co.reg.Counter("cluster_leases_total").Inc()
+			co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(req.ID)).Set(int64(len(n.inflight)))
+		}
+		queued := len(n.queue)
 		wake, gone := n.wake, n.gone
 		co.mu.Unlock()
 		if take > 0 {
@@ -565,8 +596,6 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 				default:
 				}
 			}
-			co.reg.Counter("cluster_leases_total").Inc()
-			co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(req.ID)).Set(int64(inflight))
 			return LeaseResponse{Tasks: out}, nil
 		}
 		select {
@@ -607,13 +636,15 @@ func (co *Coordinator) Results(req ResultsRequest) error {
 		n.completed++
 		d.done <- dispatchOutcome{micros: r.Micros}
 	}
-	inflight := len(n.inflight)
-	co.mu.Unlock()
+	// Per-node series are written under co.mu: a prune of this node's
+	// series cannot interleave between the lookup above and these writes
+	// and have them resurrect deleted series (see pruneLocked).
 	safe := metrics.LabelSafe(req.ID)
 	co.reg.Counter("cluster_tasks_completed_total").Add(accepted)
 	co.reg.Counter("cluster_node_" + safe + "_completed_total").Add(accepted)
 	co.reg.Counter("cluster_results_dropped_total").Add(dropped)
-	co.reg.Gauge("cluster_node_inflight_" + safe).Set(int64(inflight))
+	co.reg.Gauge("cluster_node_inflight_" + safe).Set(int64(len(n.inflight)))
+	co.mu.Unlock()
 	return nil
 }
 

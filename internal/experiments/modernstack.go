@@ -1,6 +1,6 @@
 package experiments
 
-// Shared plumbing for the modern-stack experiments (E20–E25): the ones
+// Shared plumbing for the modern-stack experiments (E20–E26): the ones
 // that execute on the layers built above the simulator — the streaming
 // service, the daemon's HTTP API, and the in-process worker-node cluster.
 // Unlike the vsim experiments these run in real time, so their tables and

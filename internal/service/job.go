@@ -234,6 +234,12 @@ const (
 	JobAccepting = "accepting"
 	JobDraining  = "draining"
 	JobDone      = "done"
+	// JobRecovering is the limbo of a durable job replayed from the journal
+	// whose runner has not been re-attached yet (a cluster job waiting for
+	// its worker fleet to re-register). It accepts pushes — journaled, fed
+	// to the engine at resume — and CloseInput, and its recovered results
+	// serve the cursor API throughout.
+	JobRecovering = "recovering"
 )
 
 // JobStatus is a point-in-time snapshot of a job, JSON-ready.
@@ -323,6 +329,11 @@ type Job struct {
 	engineSet      map[int]bool
 	memberWeights  map[int]float64 // initial weight per desired worker
 	pendingWeights map[int]float64 // full re-normalised map to install
+
+	// walClosed marks a recovering job whose input is durably closed (the
+	// close happened before the crash, or while recovering); resume closes
+	// the re-attached runner's input after re-delivering the pending tasks.
+	walClosed bool
 }
 
 // Name returns the job's name.
@@ -342,12 +353,46 @@ func (j *Job) Push(specs []TaskSpec) (int, error) {
 	j.sendMu.Lock()
 	defer j.sendMu.Unlock()
 	j.mu.Lock()
-	if state := j.state; state != JobAccepting {
+	state := j.state
+	if state != JobAccepting && state != JobRecovering || state == JobRecovering && j.walClosed {
 		j.mu.Unlock()
+		if state == JobRecovering {
+			state = JobDraining // closed while recovering: draining to the caller
+		}
 		return 0, fmt.Errorf("service: job %q is %s, not accepting tasks", j.name, state)
 	}
+	j.mu.Unlock()
+	// Journal the batch before a single task becomes observable: when a
+	// durable service says "accepted", the tasks survive a crash. Recovery
+	// re-delivers exactly the journaled-but-unacknowledged remainder.
+	if w := j.svc.wal; w != nil {
+		if err := w.commit(walRecord{Kind: walTasks, Job: j.name, Tasks: specs}); err != nil {
+			return 0, fmt.Errorf("service: job %q: journal: %w", j.name, err)
+		}
+	}
+	j.mu.Lock()
 	j.submitted += len(specs)
 	j.mu.Unlock()
+	if state == JobRecovering {
+		// No runner to feed yet: the batch lives in the journal's pending
+		// set and resume delivers it with the rest of the backlog.
+		j.svc.reg.Counter("service_tasks_submitted_total").Add(int64(len(specs)))
+		return len(specs), nil
+	}
+	accepted, pushErr := j.feed(specs)
+	if accepted < len(specs) {
+		j.mu.Lock()
+		j.submitted -= len(specs) - accepted
+		j.mu.Unlock()
+	}
+	j.svc.reg.Counter("service_tasks_submitted_total").Add(int64(accepted))
+	return accepted, pushErr
+}
+
+// feed delivers tasks into the job's input channel — the send half of
+// Push, also used by recovery to re-deliver the journaled backlog.
+// Callers hold sendMu.
+func (j *Job) feed(specs []TaskSpec) (int, error) {
 	accepted := 0
 	var pushErr error
 	if j.pool == nil {
@@ -393,12 +438,6 @@ func (j *Job) Push(specs []TaskSpec) (int, error) {
 			accepted++
 		}
 	}
-	if accepted < len(specs) {
-		j.mu.Lock()
-		j.submitted -= len(specs) - accepted
-		j.mu.Unlock()
-	}
-	j.svc.reg.Counter("service_tasks_submitted_total").Add(int64(accepted))
 	return accepted, pushErr
 }
 
@@ -409,12 +448,39 @@ func (j *Job) CloseInput() error {
 	j.sendMu.Lock()
 	defer j.sendMu.Unlock()
 	j.mu.Lock()
+	if j.state == JobRecovering {
+		// No runner to close yet: journal the close so resume performs it
+		// after re-delivering the pending backlog (and so it survives
+		// another crash before then).
+		if j.walClosed {
+			j.mu.Unlock()
+			return fmt.Errorf("service: job %q already draining", j.name)
+		}
+		j.walClosed = true
+		j.mu.Unlock()
+		if w := j.svc.wal; w != nil {
+			if err := w.commit(walRecord{Kind: walClose, Job: j.name}); err != nil {
+				return fmt.Errorf("service: job %q: journal: %w", j.name, err)
+			}
+		}
+		return nil
+	}
 	if state := j.state; state != JobAccepting {
 		j.mu.Unlock()
 		return fmt.Errorf("service: job %q already %s", j.name, state)
 	}
 	j.state = JobDraining
 	j.mu.Unlock()
+	// Journal before closing: the close is part of the durable history
+	// (recovery of a closed job re-delivers its backlog and then drains).
+	if w := j.svc.wal; w != nil {
+		if err := w.commit(walRecord{Kind: walClose, Job: j.name}); err != nil {
+			j.mu.Lock()
+			j.state = JobAccepting
+			j.mu.Unlock()
+			return fmt.Errorf("service: job %q: journal: %w", j.name, err)
+		}
+	}
 	j.in.Close(nil)
 	return nil
 }
@@ -564,14 +630,24 @@ func (j *Job) onResult(res platform.Result) {
 	if j.pool != nil {
 		node = j.pool.NodeName(res.Worker)
 	}
-	j.mu.Lock()
-	j.completed++
-	j.results = append(j.results, TaskResult{
+	tr := TaskResult{
 		ID:     res.Task.ID,
 		Worker: res.Worker,
 		Micros: res.Time.Microseconds(),
 		Node:   node,
-	})
+	}
+	// The acknowledgement is journaled (and fsynced) before the result
+	// becomes poller-visible: once a client's cursor moves past a result,
+	// no crash can make the service deliver that task again — the replayed
+	// pending set no longer contains it. A latched journal error does not
+	// suppress publication (live pollers keep working; new accepts fail
+	// loudly instead).
+	if w := j.svc.wal; w != nil {
+		w.commit(walRecord{Kind: walResults, Job: j.name, Results: []TaskResult{tr}})
+	}
+	j.mu.Lock()
+	j.completed++
+	j.results = append(j.results, tr)
 	// Enforce the retention bound with slack so the copy amortises: trim
 	// back to MaxResults once the overshoot reaches a quarter of it.
 	if slack := j.spec.MaxResults / 4; len(j.results) > j.spec.MaxResults+max(slack, 1) {
@@ -652,6 +728,13 @@ func (j *Job) finish(rep engine.StreamReport) {
 	j.mu.Lock()
 	j.lost = lost
 	j.mu.Unlock()
+	// Journal completion last: the done record clears the job's pending
+	// set (lost tasks are lost, not redelivered) and marks it a husk for
+	// recovery. A crash before this lands replays the job as an unfinished
+	// empty stream, which re-runs this same path and converges.
+	if w := j.svc.wal; w != nil {
+		w.commit(walRecord{Kind: walDone, Job: j.name, Lost: lost})
+	}
 }
 
 // Status snapshots the job.

@@ -81,6 +81,15 @@ type Config struct {
 	// tasks execute on remote graspworker processes registered with this
 	// coordinator instead of the local platform.
 	Cluster *cluster.Coordinator
+	// DataDir, when non-empty, makes the service durable: every accepted
+	// mutation is journaled (write-ahead, fsynced) under this directory, and
+	// Open replays it — resuming unfinished jobs at their last acknowledged
+	// result and re-delivering un-acked tasks exactly once. Empty: the
+	// service is purely in-memory (the pre-durability behaviour).
+	DataDir string
+	// MaxJournalBytes triggers snapshot compaction once the journal outgrows
+	// it (default 8MB).
+	MaxJournalBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +132,12 @@ type Service struct {
 	reg   *metrics.Registry
 	alloc *alloc.Allocator
 
+	// wal is the write-ahead journal when the service is durable (nil
+	// otherwise); closed signals shutdown to background recovery waiters.
+	wal       *wal
+	closed    chan struct{}
+	closeOnce sync.Once
+
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	pending map[string]bool // names reserved by in-flight Submits
@@ -134,23 +149,77 @@ type Service struct {
 
 // New builds a service over a fresh local runtime and platform. The
 // fair-share allocator partitions the platform's worker slots among the
-// live local jobs, so no job assumes it owns the whole platform.
+// live local jobs, so no job assumes it owns the whole platform. New
+// panics if the durable layer cannot open; daemons configuring a DataDir
+// should call Open and handle the error.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service: %v", err))
+	}
+	return s
+}
+
+// Open builds a service, recovering durable state when cfg.DataDir is
+// set: the journal under it is replayed, done jobs reappear with their
+// retained results (pollers' cursors stay valid across the restart),
+// unfinished jobs resume — local ones immediately, cluster ones as soon
+// as a worker node is live again — and every accepted-but-unacknowledged
+// task is re-delivered. With no DataDir, Open never fails.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	l := rt.NewLocal()
 	slots := make([]int, cfg.Workers)
 	for i := range slots {
 		slots[i] = i
 	}
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		l:       l,
 		pf:      platform.NewLocalPlatform(l, cfg.Workers),
 		reg:     metrics.NewRegistry(),
 		alloc:   alloc.New(slots),
+		closed:  make(chan struct{}),
 		jobs:    make(map[string]*Job),
 		pending: make(map[string]bool),
 	}
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	w, err := openWAL(cfg.DataDir, cfg.MaxJournalBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	// The coordinator's token ceilings must be restored before it serves
+	// any cluster traffic: a gen or dispatch id minted below the pre-crash
+	// ceiling could collide with an id a surviving worker still holds.
+	if co := cfg.Cluster; co != nil {
+		if st := w.clusterState(); st != nil {
+			co.Restore(*st)
+		}
+		co.SetPersist(func(st cluster.RegistryState) {
+			// Best-effort after a latched wal error; the registry keeps
+			// serving and the loss surfaces on the next Submit/Push.
+			w.commit(walRecord{Kind: walCluster, Cluster: &st})
+		})
+	}
+	for _, rj := range w.recoveredJobs() {
+		s.recoverJob(rj)
+	}
+	return s, nil
+}
+
+// Close flushes the durable layer — a final snapshot folding the journal
+// away, fsynced — and stops background recovery. It does not wait for
+// running jobs; their un-acked tasks are in the journal and resume on the
+// next Open. This is the graceful-shutdown path graspd takes on SIGTERM.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.close()
 }
 
 // Allocator exposes the fair-share allocator partitioning the local
@@ -358,22 +427,6 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		done:  make(chan struct{}),
 	}
 
-	// Resolve the declared skeleton to its engine runner. The Weighted
-	// chunk policy is what makes the calibrated weights (and every live
-	// re-weighting) actually shift a farm's dispatch shares; dmap and
-	// pipeline consume the same weights through their own topologies.
-	run, err := adapt.New(adapt.Spec{
-		Skeleton:  spec.Skeleton,
-		Chunk:     sched.Weighted{},
-		WaveSize:  spec.WaveSize,
-		Alpha:     spec.Alpha,
-		Stages:    len(spec.Stages),
-		StageTask: j.stageTask,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("service: job %q: %v: %w", name, err, ErrInvalid)
-	}
-
 	// Reserve the name without publishing the job: a half-constructed Job
 	// must never be reachable through s.Job (a concurrent Push would find
 	// a nil input channel), and a duplicate submission must never disturb
@@ -390,6 +443,58 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		delete(s.pending, name)
 		s.mu.Unlock()
 	}()
+
+	if err := s.startRunner(j, explicitWindow); err != nil {
+		return nil, fmt.Errorf("service: job %q: %w", name, err)
+	}
+
+	// Journal the creation before the job becomes reachable: a crash after
+	// Submit returns must replay it. On a durable failure the just-started
+	// runner is drained back out (no tasks ever entered it).
+	if s.wal != nil {
+		if err := s.wal.commit(walRecord{Kind: walCreate, Job: name, Spec: &j.spec}); err != nil {
+			j.mu.Lock()
+			j.state = JobDraining
+			j.mu.Unlock()
+			j.in.Close(nil)
+			return nil, fmt.Errorf("service: job %q: journal: %w", name, err)
+		}
+	}
+
+	// Publish the fully constructed job.
+	s.mu.Lock()
+	s.jobs[name] = j
+	s.mu.Unlock()
+
+	s.reg.Counter("service_jobs_total").Inc()
+	s.reg.Counter("service_jobs_" + spec.skeleton() + "_total").Inc()
+	s.reg.Counter("service_jobs_placement_" + spec.placement() + "_total").Inc()
+	return j, nil
+}
+
+// startRunner takes a constructed (but unpublished) Job through placement
+// resolution and launches its engine runner — the part of submission
+// shared by Submit and crash recovery. explicitWindow marks the window as
+// caller-chosen (recovered specs always are: they were defaulted before
+// journaling), suppressing the cluster auto-expansion.
+func (s *Service) startRunner(j *Job, explicitWindow bool) error {
+	name := j.name
+
+	// Resolve the declared skeleton to its engine runner. The Weighted
+	// chunk policy is what makes the calibrated weights (and every live
+	// re-weighting) actually shift a farm's dispatch shares; dmap and
+	// pipeline consume the same weights through their own topologies.
+	run, err := adapt.New(adapt.Spec{
+		Skeleton:  j.spec.Skeleton,
+		Chunk:     sched.Weighted{},
+		WaveSize:  j.spec.WaveSize,
+		Alpha:     j.spec.Alpha,
+		Stages:    len(j.spec.Stages),
+		StageTask: j.stageTask,
+	})
+	if err != nil {
+		return fmt.Errorf("%v: %w", err, ErrInvalid)
+	}
 
 	// The control channel and membership maps must exist before any
 	// membership source can rebalance this job (the allocator may shrink
@@ -409,18 +514,17 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		workers []int
 		weights map[int]float64
 	)
-	if spec.placement() == PlacementCluster {
+	if j.spec.placement() == PlacementCluster {
 		pool, workers, weights, err = s.clusterPlatform()
 		if err != nil {
-			return nil, fmt.Errorf("service: job %q: %w", name, err)
+			return err
 		}
 		pf = pool
 		// The service default window is sized to the local worker slots; a
 		// cluster usually has far more execution slots than that, so an
 		// unspecified window grows to cover them — never shrinking below the
 		// local default, which still bounds tiny clusters sensibly.
-		if w := 2 * pool.TotalCapacity(); !explicitWindow && w > spec.Window {
-			spec.Window = w
+		if w := 2 * pool.TotalCapacity(); !explicitWindow && w > j.spec.Window {
 			j.spec.Window = w
 		}
 		j.mu.Lock()
@@ -431,7 +535,7 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		j.mu.Unlock()
 	} else {
 		if _, err := s.calibration(); err != nil {
-			return nil, fmt.Errorf("service: calibration: %w", err)
+			return fmt.Errorf("calibration: %w", err)
 		}
 		// Holding j.mu across Join makes the initial workerSet atomic with
 		// the callback registration: a rebalance triggered by another
@@ -442,7 +546,7 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		// self-deadlock, and no other holder of j.mu ever waits on the
 		// allocator.)
 		j.mu.Lock()
-		workers = s.alloc.Join(name, spec.share(), j.onAllocDelta)
+		workers = s.alloc.Join(name, j.spec.share(), j.onAllocDelta)
 		for _, w := range workers {
 			j.workerSet[w] = true
 			j.engineSet[w] = true // the runner starts with exactly these
@@ -451,7 +555,7 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		weights = s.ranking.Weights(workers)
 	}
 	j.pf, j.pool = pf, pool
-	j.in = s.l.NewChan("service.in."+name, spec.Window)
+	j.in = s.l.NewChan("service.in."+name, j.spec.Window)
 	j.det = &monitor.Detector{
 		// Z starts disabled; the warm-up installs it via the control
 		// channel once the job's own task times are known. The rule's
@@ -467,21 +571,14 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		s.watchCluster(j, s.cfg.Cluster, pool)
 	}
 
-	// Publish the fully constructed job.
-	s.mu.Lock()
-	s.jobs[name] = j
-	s.mu.Unlock()
-
-	s.reg.Counter("service_jobs_total").Inc()
-	s.reg.Counter("service_jobs_" + spec.skeleton() + "_total").Inc()
-	s.reg.Counter("service_jobs_placement_" + spec.placement() + "_total").Inc()
 	s.reg.Gauge("service_jobs_active").Add(1)
 	s.reg.Gauge("service_job_workers_" + metrics.LabelSafe(name)).Set(int64(len(workers)))
 
+	window := j.spec.Window
 	s.l.Go("service.job."+name, func(c rt.Ctx) {
 		rep := run(pf, c, j.in, engine.StreamOptions{
 			Workers:       workers,
-			Window:        spec.Window,
+			Window:        window,
 			Weights:       weights,
 			Detector:      j.det,
 			Control:       j.control,
@@ -491,7 +588,100 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		j.finish(rep)
 		s.reg.Gauge("service_jobs_active").Add(-1)
 	})
-	return j, nil
+	return nil
+}
+
+// recoverJob rebuilds one journaled job at Open time. Done jobs come back
+// as finished husks — their retained results still serve the cursor API,
+// so a poller that was mid-drain when the daemon died finishes cleanly.
+// Unfinished jobs come back in JobRecovering: visible, accepting durable
+// pushes, but with no runner yet; resume attaches one and re-delivers the
+// un-acked tasks — immediately for local placement, or as soon as a
+// worker node re-registers for cluster placement.
+func (s *Service) recoverJob(rj recoveredJob) {
+	j := &Job{
+		name:        rj.name,
+		svc:         s,
+		spec:        rj.spec,
+		state:       JobRecovering,
+		done:        make(chan struct{}),
+		submitted:   rj.submitted,
+		completed:   rj.resultsBase + len(rj.results),
+		lost:        rj.lost,
+		results:     rj.results,
+		resultsBase: rj.resultsBase,
+		walClosed:   rj.closed,
+	}
+	if rj.done {
+		j.state = JobDone
+		close(j.done)
+	}
+	s.mu.Lock()
+	s.jobs[rj.name] = j
+	s.mu.Unlock()
+	if rj.done {
+		return
+	}
+	s.reg.Counter("service_jobs_recovered_total").Inc()
+	if rj.spec.placement() == PlacementCluster {
+		go s.resumeWhenNodesLive(j)
+		return
+	}
+	s.resume(j)
+}
+
+// resumeWhenNodesLive parks a recovered cluster job until the worker
+// fleet re-registers (the workers survived the daemon; their next
+// heartbeat gets ErrGone and they re-register through the normal path),
+// then resumes it. Service shutdown abandons the wait — the job stays
+// journaled for the next Open.
+func (s *Service) resumeWhenNodesLive(j *Job) {
+	for {
+		if len(s.cfg.Cluster.Live()) > 0 {
+			if err := s.resume(j); !errors.Is(err, ErrNoCluster) {
+				return
+			}
+			// The node died again between the check and the platform
+			// snapshot; keep waiting.
+		}
+		select {
+		case <-s.closed:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// resume attaches a runner to a recovered job and re-delivers its
+// un-acked tasks. Holding sendMu across the state flip and the feed
+// serialises against Push and CloseInput: a durable push journaled while
+// the job was recovering is either in the pending snapshot fed here or
+// arrives after the flip through the normal live path — never both,
+// never neither.
+func (s *Service) resume(j *Job) error {
+	if err := s.startRunner(j, true); err != nil {
+		return err
+	}
+	j.sendMu.Lock()
+	defer j.sendMu.Unlock()
+	pending, closed := s.wal.jobPending(j.name)
+	j.mu.Lock()
+	j.state = JobAccepting
+	j.mu.Unlock()
+	if len(pending) > 0 {
+		// A feed error means the substrate died mid-redelivery; the
+		// runner's finish accounts the remainder as lost, exactly as a
+		// live push would.
+		j.feed(pending)
+		s.reg.Counter("service_tasks_redelivered_total").Add(int64(len(pending)))
+	}
+	if closed {
+		j.mu.Lock()
+		j.state = JobDraining
+		j.mu.Unlock()
+		j.in.Close(nil)
+	}
+	return nil
 }
 
 // Job returns the named job.
@@ -531,6 +721,11 @@ func (s *Service) Remove(name string) error {
 	}
 	if j.Status().State != JobDone {
 		return fmt.Errorf("service: job %q is not done; close and drain it first", name)
+	}
+	if s.wal != nil {
+		if err := s.wal.commit(walRecord{Kind: walRemove, Job: name}); err != nil {
+			return fmt.Errorf("service: job %q: journal: %w", name, err)
+		}
 	}
 	delete(s.jobs, name)
 	s.reg.Delete("service_job_workers_" + metrics.LabelSafe(name))

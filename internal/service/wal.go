@@ -1,0 +1,310 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"grasp/internal/cluster"
+	"grasp/internal/journal"
+)
+
+// The service's write-ahead log. Every externally visible mutation —
+// job creation, accepted tasks, acknowledged results, close, completion,
+// removal, and the cluster registry's token state — is journaled and
+// fsynced before the mutation's effects become observable:
+//
+//   - Submit journals the create record before the job is published;
+//   - Push journals the accepted batch before a single task reaches the
+//     engine (so "accepted" implies "survives a crash");
+//   - onResult journals the ack before the result enters the poller-
+//     visible results slice (so a cursor a client advanced past a result
+//     can never see that task re-delivered after a restart).
+//
+// The wal keeps an in-memory mirror (walState) maintained by applying
+// each record exactly as replay would, which makes replay determinism a
+// testable property — replay(snapshot + journal) == live mirror — and
+// gives compaction its snapshot for free.
+
+// walRecord kinds.
+const (
+	walCreate  = "create"
+	walTasks   = "tasks"
+	walResults = "results"
+	walClose   = "close"
+	walDone    = "done"
+	walRemove  = "remove"
+	walCluster = "cluster"
+)
+
+// walRecord is one journaled mutation.
+type walRecord struct {
+	Kind    string                 `json:"kind"`
+	Job     string                 `json:"job,omitempty"`
+	Spec    *JobSpec               `json:"spec,omitempty"`
+	Tasks   []TaskSpec             `json:"tasks,omitempty"`
+	Results []TaskResult           `json:"results,omitempty"`
+	Lost    int                    `json:"lost,omitempty"`
+	Cluster *cluster.RegistryState `json:"cluster,omitempty"`
+}
+
+// walJob is one job's durable state: the defaulted spec, lifecycle flags,
+// the accepted-but-unacknowledged tasks (Pending — exactly what recovery
+// must re-deliver), and the acknowledged results under the same retention
+// arithmetic the live job applies.
+type walJob struct {
+	Spec        JobSpec      `json:"spec"`
+	Closed      bool         `json:"closed,omitempty"`
+	Done        bool         `json:"done,omitempty"`
+	Lost        int          `json:"lost,omitempty"`
+	Submitted   int          `json:"submitted,omitempty"`
+	Pending     []TaskSpec   `json:"pending,omitempty"`
+	Results     []TaskResult `json:"results,omitempty"`
+	ResultsBase int          `json:"results_base,omitempty"`
+}
+
+// walState is the full durable state — the snapshot payload.
+type walState struct {
+	Jobs    map[string]*walJob     `json:"jobs,omitempty"`
+	Cluster *cluster.RegistryState `json:"cluster,omitempty"`
+}
+
+// apply folds one record into the state. It must be deterministic and
+// total: replay calls it on every journaled record, and commit calls it
+// on the live mirror before appending — the two must never diverge.
+// Records referencing unknown jobs (a remove journaled, then replayed
+// against a snapshot already past it) are ignored.
+func (st *walState) apply(rec walRecord) {
+	if st.Jobs == nil {
+		st.Jobs = make(map[string]*walJob)
+	}
+	wj := st.Jobs[rec.Job]
+	switch rec.Kind {
+	case walCreate:
+		if rec.Spec != nil {
+			st.Jobs[rec.Job] = &walJob{Spec: *rec.Spec}
+		}
+	case walTasks:
+		if wj != nil {
+			wj.Submitted += len(rec.Tasks)
+			wj.Pending = append(wj.Pending, rec.Tasks...)
+		}
+	case walResults:
+		if wj != nil {
+			for _, r := range rec.Results {
+				wj.ack(r)
+			}
+		}
+	case walClose:
+		if wj != nil {
+			wj.Closed = true
+		}
+	case walDone:
+		if wj != nil {
+			wj.Done = true
+			wj.Lost = rec.Lost
+			wj.Pending = nil
+		}
+	case walRemove:
+		delete(st.Jobs, rec.Job)
+	case walCluster:
+		st.Cluster = rec.Cluster
+	}
+}
+
+// ack settles one acknowledged result: the first pending occurrence of
+// its task id is retired (redelivery after a crash re-pushes exactly the
+// un-acked remainder) and the result joins the retained slice under the
+// live job's retention trim, so replayed cursors match live ones.
+func (wj *walJob) ack(r TaskResult) {
+	for i, ts := range wj.Pending {
+		if ts.ID == r.ID {
+			// Full-slice-capacity copy: recovery snapshots Pending, and an
+			// in-place shift here would mutate that snapshot underneath it.
+			wj.Pending = append(wj.Pending[:i:i], wj.Pending[i+1:]...)
+			break
+		}
+	}
+	wj.Results = append(wj.Results, r)
+	if slack := wj.Spec.MaxResults / 4; len(wj.Results) > wj.Spec.MaxResults+max(slack, 1) {
+		drop := len(wj.Results) - wj.Spec.MaxResults
+		wj.ResultsBase += drop
+		wj.Results = append(wj.Results[:0:0], wj.Results[drop:]...)
+	}
+}
+
+// wal owns the store and the live mirror. All methods are safe for
+// concurrent use; a storage error latches (fail-stop durability): every
+// later commit reports it and appends nothing, so the daemon can degrade
+// loudly instead of silently diverging from its journal.
+type wal struct {
+	mu       sync.Mutex
+	store    *journal.Store
+	state    walState
+	maxBytes int64
+	err      error
+	closed   bool
+}
+
+// defaultMaxJournalBytes triggers compaction once the journal outgrows it.
+const defaultMaxJournalBytes = 8 << 20
+
+// openWAL recovers (or initialises) the durable state under dir.
+func openWAL(dir string, maxBytes int64) (*wal, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxJournalBytes
+	}
+	store, rec, err := journal.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{store: store, maxBytes: maxBytes}
+	if rec.Snapshot != nil {
+		if err := json.Unmarshal(rec.Snapshot, &w.state); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("service: wal snapshot: %w", err)
+		}
+	}
+	for _, raw := range rec.Records {
+		var r walRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			// A record that framed correctly but does not parse is corruption
+			// past what the CRC caught; refuse to guess at the state.
+			store.Close()
+			return nil, fmt.Errorf("service: wal record: %w", err)
+		}
+		w.state.apply(r)
+	}
+	return w, nil
+}
+
+// commit applies rec to the mirror, journals it, and fsyncs — the record
+// is durable when commit returns nil. Oversized journals compact inline.
+func (w *wal) commit(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("service: wal is closed")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.state.apply(rec)
+	raw, err := json.Marshal(rec)
+	if err == nil {
+		err = w.store.Append(raw)
+	}
+	if err == nil {
+		err = w.store.Sync()
+	}
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if w.store.JournalSize() > w.maxBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked folds the mirror into a fresh snapshot.
+func (w *wal) rotateLocked() error {
+	snap, err := json.Marshal(w.state)
+	if err != nil {
+		return err
+	}
+	return w.store.Rotate(snap)
+}
+
+// close takes a final snapshot (compacting the journal away) and releases
+// the store — the graceful-shutdown flush. Safe to call once.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.err == nil {
+		err = w.rotateLocked()
+	}
+	if cerr := w.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// jobPending snapshots one job's recovery view: the un-acked tasks to
+// re-deliver and whether its input was durably closed. The copy is safe
+// against concurrent acks (see walJob.ack).
+func (w *wal) jobPending(name string) (pending []TaskSpec, closed bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wj := w.state.Jobs[name]
+	if wj == nil {
+		return nil, false
+	}
+	return wj.Pending, wj.Closed
+}
+
+// clusterState returns the last journaled coordinator state (nil when
+// none). The pointer is safe to share: cluster records replace it
+// wholesale, never mutate it.
+func (w *wal) clusterState() *cluster.RegistryState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state.Cluster
+}
+
+// recoveredJobs lists the journaled jobs in name order (for deterministic
+// recovery) along with deep-enough copies of their durable state.
+func (w *wal) recoveredJobs() []recoveredJob {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.state.Jobs))
+	for name := range w.state.Jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]recoveredJob, 0, len(names))
+	for _, name := range names {
+		wj := w.state.Jobs[name]
+		out = append(out, recoveredJob{
+			name:        name,
+			spec:        wj.Spec,
+			closed:      wj.Closed,
+			done:        wj.Done,
+			lost:        wj.Lost,
+			submitted:   wj.Submitted,
+			results:     append([]TaskResult(nil), wj.Results...),
+			resultsBase: wj.ResultsBase,
+		})
+	}
+	return out
+}
+
+// recoveredJob is one job's replayed state handed to the recovery path.
+type recoveredJob struct {
+	name        string
+	spec        JobSpec
+	closed      bool
+	done        bool
+	lost        int
+	submitted   int
+	results     []TaskResult
+	resultsBase int
+}
+
+// mirror returns a serialised copy of the live state (test hook for the
+// replay-determinism property).
+func (w *wal) mirror() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	raw, _ := json.Marshal(w.state)
+	return raw
+}

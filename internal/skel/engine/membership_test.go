@@ -227,6 +227,52 @@ func TestRemoveWhileInFlightEverySkeleton(t *testing.T) {
 	}
 }
 
+// TestMembershipRemoveReAddSameWorkerEverySkeleton cycles one worker id
+// out of and back into the membership, twice, mid-stream — the shape a
+// crash-recovered cluster produces when a surviving worker's stale
+// registration is retired and its re-registration re-admits the same id.
+// The engine must treat each re-admission as a fresh member (counted in
+// WorkersAdded, present in the final set) without double-delivering any
+// task that was in flight across a cycle.
+func TestMembershipRemoveReAddSameWorkerEverySkeleton(t *testing.T) {
+	const n = 48
+	updates := []engine.Update{
+		{Remove: []int{1}},
+		{Add: []engine.Member{{Worker: 1, Weight: 0.5}}},
+		{Remove: []int{1}},
+		{Add: []engine.Member{{Worker: 1, Weight: 0.5}}},
+	}
+	for _, ad := range membershipAdapters() {
+		ad := ad
+		t.Run(ad.name, func(t *testing.T) {
+			rep := runMembershipStream(t, ad.runner, 3, []int{0, 1, 2},
+				fnTasks(n, 500*time.Microsecond), updates, 6)
+			assertExactlyOnce(t, rep, n)
+			if rep.WorkersAdded != 2 {
+				t.Errorf("WorkersAdded = %d, want 2 (worker 1 re-admitted twice)", rep.WorkersAdded)
+			}
+			if rep.WorkersRemoved != 2 {
+				t.Errorf("WorkersRemoved = %d, want 2 (worker 1 removed twice)", rep.WorkersRemoved)
+			}
+			if rep.Failures != 0 {
+				t.Errorf("graceful remove/re-add cycles produced %d failures", rep.Failures)
+			}
+			final := map[int]bool{}
+			for _, w := range rep.FinalWorkers {
+				final[w] = true
+			}
+			for _, w := range []int{0, 1, 2} {
+				if !final[w] {
+					t.Errorf("final membership %v missing worker %d", rep.FinalWorkers, w)
+				}
+			}
+			if len(rep.FinalWorkers) != 3 {
+				t.Errorf("final membership %v, want exactly {0,1,2}", rep.FinalWorkers)
+			}
+		})
+	}
+}
+
 // TestLastWorkerRemovalRefused checks the engine's floor: a graceful
 // removal that would leave the stream with no live worker is refused, so
 // an allocator bug can never strand admitted tasks.
