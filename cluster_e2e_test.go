@@ -227,12 +227,22 @@ func buildE2EBinaries(t *testing.T) (graspd, graspworker string) {
 	return graspd, graspworker
 }
 
+// TestClusterE2EMultiProcess runs the full multi-process scenario once
+// per wire binding: the worker processes pin -transport so both the JSON
+// and the binary framing cross real process and socket boundaries.
 func TestClusterE2EMultiProcess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process e2e skipped in -short mode (CI runs it in its own job)")
 	}
 	graspd, graspworker := buildE2EBinaries(t)
+	for _, transport := range []string{"json", "binary"} {
+		t.Run(transport, func(t *testing.T) {
+			clusterE2EMultiProcess(t, graspd, graspworker, transport)
+		})
+	}
+}
 
+func clusterE2EMultiProcess(t *testing.T, graspd, graspworker, transport string) {
 	apiPort, clusterPort := freePort(t), freePort(t)
 	api := fmt.Sprintf("http://127.0.0.1:%d", apiPort)
 	daemon := startProc(t, graspd,
@@ -255,7 +265,8 @@ func TestClusterE2EMultiProcess(t *testing.T) {
 		return startProc(t, graspworker,
 			"-coordinator", coordinator, "-id", id,
 			"-capacity", "2", "-heartbeat", "100ms",
-			"-bench-spin", "100000", "-lease-wait", "200ms")
+			"-bench-spin", "100000", "-lease-wait", "200ms",
+			"-transport", transport)
 	}
 	worker("e2e-w1")
 	w2 := worker("e2e-w2")
@@ -385,12 +396,21 @@ func TestClusterE2EMultiProcess(t *testing.T) {
 // daemon — re-register through the ErrGone path, the recovered job
 // resumes, and every task completes exactly once across both daemon
 // lives, with the pre-crash results cursor still valid.
+// It too runs once per wire binding — the ErrGone re-register path after
+// a daemon SIGKILL must hold when the verbs travel as binary frames.
 func TestClusterE2EDaemonRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process e2e skipped in -short mode (CI runs it in its own job)")
 	}
 	graspd, graspworker := buildE2EBinaries(t)
+	for _, transport := range []string{"json", "binary"} {
+		t.Run(transport, func(t *testing.T) {
+			clusterE2EDaemonRecovery(t, graspd, graspworker, transport)
+		})
+	}
+}
 
+func clusterE2EDaemonRecovery(t *testing.T, graspd, graspworker, transport string) {
 	dataDir := t.TempDir()
 	apiPort, clusterPort := freePort(t), freePort(t)
 	api := fmt.Sprintf("http://127.0.0.1:%d", apiPort)
@@ -417,7 +437,8 @@ func TestClusterE2EDaemonRecovery(t *testing.T) {
 		startProc(t, graspworker,
 			"-coordinator", coordinator, "-id", id,
 			"-capacity", "2", "-heartbeat", "100ms",
-			"-bench-spin", "100000", "-lease-wait", "200ms")
+			"-bench-spin", "100000", "-lease-wait", "200ms",
+			"-transport", transport)
 	}
 	waitFor(t, 15*time.Second, "both workers live", func() bool {
 		live := 0

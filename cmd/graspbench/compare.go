@@ -1,0 +1,170 @@
+package main
+
+// The -compare gate joins a fresh bench run against a committed baseline
+// (BENCH_BASELINE.json) and fails on throughput regressions, so perf
+// claims stay enforced instead of rotting in a README. Two checks run:
+//
+//  1. Per-row: every row present in both files (joined on the
+//     skeleton/node-count/durable/transport/workload identity) must keep
+//     at least (1 - maxRegression) of its baseline throughput. Rows only
+//     in one file are reported but never fail the gate — adding a
+//     skeleton or a transport must not require regenerating history.
+//  2. Same-run transport ratio: the binary transport's dispatch-bound
+//     cluster row must out-throughput JSON's by at least binarySpeedup.
+//     Both rows come from the same process on the same machine, so the
+//     ratio is stable where absolute tasks/s are not.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"grasp/internal/cluster"
+)
+
+// binarySpeedup is the minimum binary/JSON throughput ratio on the
+// dispatch-bound cluster row — the headline claim the binary codec and
+// the zero-allocation dispatch path exist to back.
+const binarySpeedup = 1.25
+
+// rowKey is the join identity of one bench row across runs.
+type rowKey struct {
+	Skeleton  string
+	NodeCount int
+	Durable   bool
+	Transport string
+	Workload  string
+}
+
+func (k rowKey) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/nodes=%d", k.Skeleton, k.NodeCount)
+	if k.Durable {
+		b.WriteString("/durable")
+	}
+	if k.Transport != "" {
+		b.WriteString("/" + k.Transport)
+	}
+	if k.Workload != "" {
+		b.WriteString("/" + k.Workload)
+	}
+	return b.String()
+}
+
+func keyOf(r BenchResult) rowKey {
+	return rowKey{
+		Skeleton:  r.Skeleton,
+		NodeCount: r.NodeCount,
+		Durable:   r.Durable,
+		Transport: r.Transport,
+		Workload:  r.Workload,
+	}
+}
+
+func loadBenchFile(path string) (BenchFile, error) {
+	var f BenchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// compareBench implements both gates over already-loaded files; it
+// returns the human-readable per-row report lines and the list of
+// failures (empty means the gate passes).
+func compareBench(current, baseline BenchFile, maxRegression float64) (report, failures []string) {
+	base := make(map[rowKey]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[keyOf(r)] = r
+	}
+	seen := make(map[rowKey]bool, len(current.Results))
+	for _, cur := range current.Results {
+		k := keyOf(cur)
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			report = append(report, fmt.Sprintf("new   %-40s %10.0f tasks/s (no baseline row)", k, cur.ThroughputTPS))
+			continue
+		}
+		if b.ThroughputTPS <= 0 {
+			report = append(report, fmt.Sprintf("skip  %-40s baseline throughput is 0", k))
+			continue
+		}
+		ratio := cur.ThroughputTPS / b.ThroughputTPS
+		line := fmt.Sprintf("row   %-40s %10.0f -> %10.0f tasks/s (%+.1f%%)",
+			k, b.ThroughputTPS, cur.ThroughputTPS, (ratio-1)*100)
+		if ratio < 1-maxRegression {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed %.1f%% (throughput %.0f -> %.0f tasks/s, tolerance %.0f%%)",
+				k, (1-ratio)*100, b.ThroughputTPS, cur.ThroughputTPS, maxRegression*100))
+			line += "  REGRESSION"
+		}
+		report = append(report, line)
+	}
+	for k := range base {
+		if !seen[k] {
+			report = append(report, fmt.Sprintf("gone  %-40s (baseline row not in this run)", k))
+		}
+	}
+
+	// Same-run transport ratio on the dispatch-bound cluster rows.
+	var jsonTPS, binTPS float64
+	for _, cur := range current.Results {
+		if cur.Workload != workloadDispatch {
+			continue
+		}
+		switch cur.Transport {
+		case cluster.TransportJSON:
+			jsonTPS = cur.ThroughputTPS
+		case cluster.TransportBinary:
+			binTPS = cur.ThroughputTPS
+		}
+	}
+	switch {
+	case jsonTPS <= 0 || binTPS <= 0:
+		failures = append(failures, fmt.Sprintf(
+			"dispatch-bound transport rows missing from the run (json=%.0f binary=%.0f tasks/s)", jsonTPS, binTPS))
+	case binTPS < jsonTPS*binarySpeedup:
+		failures = append(failures, fmt.Sprintf(
+			"binary transport dispatch throughput %.0f tasks/s is only %.2fx JSON's %.0f, want >= %.2fx",
+			binTPS, binTPS/jsonTPS, jsonTPS, binarySpeedup))
+	default:
+		report = append(report, fmt.Sprintf(
+			"ratio binary/json dispatch = %.2fx (gate >= %.2fx)", binTPS/jsonTPS, binarySpeedup))
+	}
+	return report, failures
+}
+
+// runCompare loads both files and applies the gate, printing the report
+// unless quiet.
+func runCompare(currentPath, baselinePath string, maxRegression float64, quiet bool) error {
+	current, err := loadBenchFile(currentPath)
+	if err != nil {
+		return err
+	}
+	baseline, err := loadBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	report, failures := compareBench(current, baseline, maxRegression)
+	if !quiet {
+		for _, line := range report {
+			fmt.Println(line)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "bench regression: %s\n", f)
+		}
+		return fmt.Errorf("%d bench gate failure(s) against %s", len(failures), baselinePath)
+	}
+	if !quiet {
+		fmt.Printf("bench gate: %d rows within %.0f%% of %s\n", len(report), maxRegression*100, baselinePath)
+	}
+	return nil
+}

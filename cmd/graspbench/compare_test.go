@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"grasp/internal/cluster"
+)
+
+// benchRows builds a file with the dispatch-bound transport pair plus one
+// local row, the minimum shape the gate needs to pass.
+func benchRows(localTPS, jsonTPS, binTPS float64) BenchFile {
+	return BenchFile{Results: []BenchResult{
+		{Skeleton: "farm", NodeCount: 1, ThroughputTPS: localTPS},
+		{Skeleton: "farm", NodeCount: 2, Transport: cluster.TransportJSON,
+			Workload: workloadDispatch, ThroughputTPS: jsonTPS},
+		{Skeleton: "farm", NodeCount: 2, Transport: cluster.TransportBinary,
+			Workload: workloadDispatch, ThroughputTPS: binTPS},
+	}}
+}
+
+func TestCompareBenchPassesWithinTolerance(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := benchRows(900, 1800, 2800) // -10% everywhere, ratio 1.56x
+	report, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	if len(report) == 0 {
+		t.Fatal("no report lines")
+	}
+}
+
+func TestCompareBenchFailsOnRegression(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := benchRows(700, 1800, 2800) // local row -30%
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "farm/nodes=1") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareBenchFailsWhenBinaryLosesItsEdge(t *testing.T) {
+	baseline := benchRows(1000, 2000, 2400)
+	current := benchRows(1000, 2000, 2200) // within tolerance, but 1.1x < required 1.25x
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "binary transport") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareBenchFailsWhenDispatchRowsMissing(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := BenchFile{Results: []BenchResult{
+		{Skeleton: "farm", NodeCount: 1, ThroughputTPS: 1000},
+	}}
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+// New and vanished rows are reported, never fatal: adding a skeleton or
+// transport must not require rewriting baseline history.
+func TestCompareBenchToleratesRowChurn(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	baseline.Results = append(baseline.Results,
+		BenchResult{Skeleton: "pipe", NodeCount: 1, ThroughputTPS: 500})
+	current := benchRows(1000, 2000, 3000)
+	current.Results = append(current.Results,
+		BenchResult{Skeleton: "dc", NodeCount: 1, ThroughputTPS: 800})
+	report, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "new   dc/nodes=1") || !strings.Contains(joined, "gone  pipe/nodes=1") {
+		t.Fatalf("report missing churn lines:\n%s", joined)
+	}
+}

@@ -19,6 +19,15 @@
 //	                           machine-readable BENCH_*.json record
 //	                           (throughput, makespan, breach/recalibration
 //	                           counts per skeleton) instead of the tables
+//	graspbench -json FILE -compare BASELINE
+//	                           additionally join the fresh run against a
+//	                           committed baseline on the (skeleton, nodes,
+//	                           durable, transport, workload) row identity
+//	                           and fail on any per-row throughput
+//	                           regression beyond -max-regression (0.15),
+//	                           or if the binary transport's dispatch-bound
+//	                           row fails to beat JSON's by >= 25% in the
+//	                           same run
 //
 // The process exits non-zero if any shape check fails.
 package main
@@ -38,6 +47,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		quiet    = flag.Bool("quiet", false, "print only check failures")
 		jsonPath = flag.String("json", "", "bench the streaming skeletons and write machine-readable results to this path")
+		compare  = flag.String("compare", "", "baseline BENCH_*.json to gate the fresh -json run against")
+		maxRegr  = flag.Float64("max-regression", 0.15, "per-row throughput regression tolerated by -compare (fraction)")
 		docs     = flag.Bool("write-docs", false, "run the E-matrix and regenerate EXPERIMENTS.md and DESIGN.md in the module root")
 	)
 	flag.Parse()
@@ -46,6 +57,12 @@ func main() {
 		if err := runSkelBench(*jsonPath, *seed, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "graspbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *compare != "" {
+			if err := runCompare(*jsonPath, *compare, *maxRegr, *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "graspbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

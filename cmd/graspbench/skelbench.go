@@ -11,7 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
-	"net/http/httptest"
+	"net"
 	"os"
 	"time"
 
@@ -26,12 +26,18 @@ import (
 
 // BenchResult is one skeleton's streaming benchmark record. NodeCount is
 // the distribution dimension: 1 for local (in-process) execution, >1 when
-// the bench streamed through that many cluster worker nodes — keeping
-// BENCH_RESULTS.json comparable across PRs as placements multiply.
+// the bench streamed through that many cluster worker nodes; Transport
+// and Workload extend the key for the cluster rows (json vs binary wire,
+// mixed sleep-bound vs dispatch-bound work) — keeping BENCH_RESULTS.json
+// comparable across PRs as placements and bindings multiply. The
+// (skeleton, node_count, durable, transport, workload) tuple is the row
+// identity the -compare regression gate joins on.
 type BenchResult struct {
 	Skeleton       string  `json:"skeleton"`
 	NodeCount      int     `json:"node_count"`
 	Durable        bool    `json:"durable,omitempty"`
+	Transport      string  `json:"transport,omitempty"`
+	Workload       string  `json:"workload,omitempty"`
 	Tasks          int     `json:"tasks"`
 	Workers        int     `json:"workers"`
 	Window         int     `json:"window"`
@@ -131,46 +137,85 @@ func benchSkeleton(name string, tasks []platform.Task) (BenchResult, error) {
 	return out, nil
 }
 
-// benchClusterFarm streams the same workload shape through the farm
-// skeleton over two in-process cluster worker nodes speaking the real HTTP
-// protocol — the node_count=2 row that tracks the distributed path's
-// overhead next to the local rows.
-func benchClusterFarm(seed int64) (BenchResult, error) {
+// Cluster bench workloads. "mixed" is the original sleep-bound shape (a
+// fast body and a slow tail forcing a mid-stream breach); "dispatch" is
+// near-zero work, so elapsed time is almost entirely the wire — the row
+// where a transport's overhead is visible instead of drowned in sleeps.
+const (
+	workloadMixed    = "mixed"
+	workloadDispatch = "dispatch"
+)
+
+// benchClusterFarm streams a workload through the farm skeleton over two
+// in-process cluster worker nodes speaking the real wire protocol on a
+// real listener (the dual-transport server graspd runs), parameterised by
+// transport binding and workload shape. The (transport, workload) rows
+// track the distributed path's overhead next to the local rows — and the
+// dispatch-bound json/binary pair is what the -compare gate holds the
+// binary speedup claim against.
+func benchClusterFarm(seed int64, transport, workload string) (BenchResult, error) {
 	const (
 		nodes  = 2
 		window = 8
 	)
-	coord := cluster.NewCoordinator(cluster.Config{DeadAfter: 2 * time.Second})
+	coord := cluster.NewCoordinator(cluster.Config{
+		DeadAfter: 2 * time.Second,
+		Transport: transport,
+	})
 	defer coord.Close()
-	srv := httptest.NewServer(coord.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	srv := cluster.NewServer(coord)
+	go srv.Serve(ln)
 	defer srv.Close()
+	url := "http://" + ln.Addr().String()
 	for i := 0; i < nodes; i++ {
 		w, err := cluster.StartWorker(cluster.WorkerConfig{
-			Coordinator: srv.URL,
+			Coordinator: url,
 			ID:          fmt.Sprintf("bench-n%d", i),
 			Capacity:    2,
+			Batch:       8,
 			BenchSpin:   100_000,
 			LeaseWait:   200 * time.Millisecond,
+			Transport:   transport,
 		})
 		if err != nil {
 			return BenchResult{}, err
 		}
 		defer w.Stop()
+		if got := w.TransportName(); got != transport {
+			return BenchResult{}, fmt.Errorf("bench worker negotiated %q, want %q", got, transport)
+		}
 	}
 
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
-	const nFast, nSlow = 150, 50
+	nTasks := 200
+	detectZ := 5 * time.Millisecond
+	taskWork := func(i int) cluster.Work {
+		d := 100 * time.Microsecond
+		if i >= 150 {
+			d = 2 * time.Millisecond
+		}
+		d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+		return cluster.Work{SleepUS: d.Microseconds()}
+	}
+	if workload == workloadDispatch {
+		// Near-zero work: ~a microsecond of spin per task, so throughput is
+		// the dispatch machinery itself. The detector is parked (huge Z) —
+		// this row measures the wire, not the adaptation loop.
+		nTasks = 800
+		detectZ = time.Hour
+		taskWork = func(int) cluster.Work { return cluster.Work{Spin: 256} }
+	}
+
 	l := rt.NewLocal()
 	pool := cluster.NewPool(coord, l, coord.Live())
 	in := l.NewChan("bench.cluster.in", 1)
 	l.Go("bench.cluster.producer", func(c rt.Ctx) {
-		for i := 0; i < nFast+nSlow; i++ {
-			d := 100 * time.Microsecond
-			if i >= nFast {
-				d = 2 * time.Millisecond
-			}
-			d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
-			in.Send(c, platform.Task{ID: i, Cost: 1, Data: cluster.Work{SleepUS: d.Microseconds()}})
+		for i := 0; i < nTasks; i++ {
+			in.Send(c, platform.Task{ID: i, Cost: 1, Data: taskWork(i)})
 		}
 		in.Close(c)
 	})
@@ -184,7 +229,7 @@ func benchClusterFarm(seed int64) (BenchResult, error) {
 		rep = runner(pool, c, in, engine.StreamOptions{
 			Window: window,
 			Detector: &monitor.Detector{
-				Z: 5 * time.Millisecond, Rule: monitor.RuleMinOver,
+				Z: detectZ, Rule: monitor.RuleMinOver,
 				Window: 3, MinSamples: 3,
 			},
 		})
@@ -196,6 +241,8 @@ func benchClusterFarm(seed int64) (BenchResult, error) {
 	out := BenchResult{
 		Skeleton:       adapt.Farm,
 		NodeCount:      nodes,
+		Transport:      transport,
+		Workload:       workload,
 		Tasks:          len(rep.Results),
 		Workers:        pool.Size(), // execution slots: nodes × capacity
 		Window:         window,
@@ -209,8 +256,8 @@ func benchClusterFarm(seed int64) (BenchResult, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		out.ThroughputTPS = float64(len(rep.Results)) / secs
 	}
-	if len(rep.Results) != nFast+nSlow {
-		return out, fmt.Errorf("cluster bench completed %d of %d tasks", len(rep.Results), nFast+nSlow)
+	if len(rep.Results) != nTasks {
+		return out, fmt.Errorf("cluster bench completed %d of %d tasks", len(rep.Results), nTasks)
 	}
 	return out, nil
 }
@@ -303,6 +350,12 @@ func runSkelBench(path string, seed int64, quiet bool) error {
 		if res.Durable {
 			tag = " durable"
 		}
+		if res.Transport != "" {
+			tag += " " + res.Transport
+		}
+		if res.Workload != "" {
+			tag += "/" + res.Workload
+		}
 		fmt.Printf("bench %-9s nodes=%d%s %4d tasks  %8.0f tasks/s  makespan %s  breaches=%d recals=%d\n",
 			res.Skeleton, res.NodeCount, tag, res.Tasks, res.ThroughputTPS,
 			time.Duration(res.MakespanUS)*time.Microsecond, res.Breaches, res.Recalibrations)
@@ -316,12 +369,21 @@ func runSkelBench(path string, seed int64, quiet bool) error {
 		file.Results = append(file.Results, res)
 		report(res)
 	}
-	res, err := benchClusterFarm(seed)
-	if err != nil {
-		return err
+	// Cluster rows: the sleep-bound mixed workload on each binding, plus the
+	// dispatch-bound pair where transport overhead is the measurement.
+	for _, row := range []struct{ transport, workload string }{
+		{cluster.TransportJSON, workloadMixed},
+		{cluster.TransportBinary, workloadMixed},
+		{cluster.TransportJSON, workloadDispatch},
+		{cluster.TransportBinary, workloadDispatch},
+	} {
+		res, err := benchClusterFarm(seed, row.transport, row.workload)
+		if err != nil {
+			return err
+		}
+		file.Results = append(file.Results, res)
+		report(res)
 	}
-	file.Results = append(file.Results, res)
-	report(res)
 	durable, err := benchDurableFarm(seed)
 	if err != nil {
 		return err

@@ -104,6 +104,7 @@ func main() {
 		defaultShare  = flag.Float64("default-share", 1, "fair-share weight for jobs that omit `share`")
 		clusterListen = flag.String("cluster-listen", "", "serve the worker-node protocol on this address (empty = cluster disabled)")
 		deadAfter     = flag.Duration("dead-after", 3*time.Second, "cluster: declare a silent worker node dead after this long")
+		transport     = flag.String("transport", "auto", "cluster: transport preference for register-time negotiation (auto, json, binary)")
 		dataDir       = flag.String("data-dir", "", "durability: journal job state under this directory and recover it on restart (empty = in-memory only)")
 		maxJournal    = flag.Int64("max-journal-bytes", 0, "durability: compact the journal into a snapshot past this size (0 = 8 MiB)")
 		drive         = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
@@ -168,6 +169,7 @@ func main() {
 	if *clusterListen != "" {
 		coord = cluster.NewCoordinator(cluster.Config{
 			DeadAfter: *deadAfter,
+			Transport: *transport,
 			Logf:      log.Printf,
 		})
 		cfg.Cluster = coord
@@ -181,9 +183,13 @@ func main() {
 		log.Fatalf("graspd: %v", err)
 	}
 	if coord != nil {
+		// The cluster port speaks both bindings: the server sniffs each
+		// connection's first byte and routes HTTP (JSON) or binary frames.
+		csrv := cluster.NewServer(coord)
 		go func() {
-			log.Printf("graspd cluster coordinator on %s (dead-after %v)", *clusterListen, *deadAfter)
-			if err := http.ListenAndServe(*clusterListen, coord.Handler()); err != nil {
+			log.Printf("graspd cluster coordinator on %s (dead-after %v, transport %s)",
+				*clusterListen, *deadAfter, *transport)
+			if err := csrv.ListenAndServe(*clusterListen); err != nil {
 				log.Fatal(err)
 			}
 		}()

@@ -31,23 +31,27 @@ func main() {
 		benchSpin   = flag.Int64("bench-spin", 2_000_000, "startup benchmark iterations (calibration sample)")
 		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat interval (0 = coordinator-advertised)")
 		leaseWait   = flag.Duration("lease-wait", 2*time.Second, "lease long-poll bound")
+		transport   = flag.String("transport", "auto", "wire binding to offer at registration (auto, json, binary)")
+		flush       = flag.Duration("flush-interval", 0, "linger before posting a result batch (0 = self-clocking, no added latency)")
 	)
 	flag.Parse()
 
 	w, err := cluster.StartWorker(cluster.WorkerConfig{
-		Coordinator: *coordinator,
-		ID:          *id,
-		Capacity:    *capacity,
-		Batch:       *batch,
-		BenchSpin:   *benchSpin,
-		Heartbeat:   *heartbeat,
-		LeaseWait:   *leaseWait,
-		Logf:        log.Printf,
+		Coordinator:   *coordinator,
+		ID:            *id,
+		Capacity:      *capacity,
+		Batch:         *batch,
+		BenchSpin:     *benchSpin,
+		Heartbeat:     *heartbeat,
+		LeaseWait:     *leaseWait,
+		Transport:     *transport,
+		FlushInterval: *flush,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("graspworker %s serving %s (%.0f ops/s)", w.ID(), *coordinator, w.SpeedOPS())
+	log.Printf("graspworker %s serving %s (%.0f ops/s, transport %s)", w.ID(), *coordinator, w.SpeedOPS(), w.TransportName())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -99,9 +99,19 @@
 //     register-time benchmark sample becoming its initial dispatch weight
 //     — and starts executing their tasks without any restart.
 //
+// The wire itself has two bindings served on one port: JSON over HTTP
+// (the universal bootstrap, always available) and length-prefixed
+// CRC-checked binary frames over persistent connections (the fast path —
+// batched lease/results bodies decoded into reused buffers, zero
+// steady-state allocations per task). Workers offer what they speak at
+// register time and the coordinator picks, so mixed fleets — old JSON
+// workers next to new binary ones during a rolling upgrade — are a
+// supported state, not an error. cluster.Server sniffs each connection's
+// first byte to route it; both graspd and graspworker take -transport.
+//
 // The daemon exposes node administration at /api/v1/nodes, per-node
 // execution tallies in cluster job statuses, and cluster gauges in
-// /metrics. See README.md's cluster quickstart.
+// /metrics. See README.md's cluster quickstart and transport section.
 //
 // # Durability layer
 //

@@ -1,0 +1,165 @@
+package cluster
+
+// Benchmarks pinning the zero-allocation dispatch path. The codec
+// benchmarks cover encode/decode of the two hot frames (lease batch,
+// results batch); BenchmarkDispatchSteadyState drives the coordinator's
+// whole in-process loop — submit, lease, results, outcome, release — the
+// way the binary server does, with every buffer reused. All report
+// allocations; the dispatch loop must stay at 0 allocs/task.
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// benchTasks builds a full lease batch for the codec benchmarks.
+func benchTasks(n int) []WireTask {
+	tasks := make([]WireTask, n)
+	for i := range tasks {
+		tasks[i] = WireTask{Dispatch: int64(i + 1), Task: i, Work: Work{Cost: 1, Spin: 1000}}
+	}
+	return tasks
+}
+
+func BenchmarkCodecLeaseEncode(b *testing.B) {
+	tasks := benchTasks(64)
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = finishFrame(appendLeaseResponse(beginFrame(buf[:0], msgLeaseResp), tasks))
+	}
+	if len(buf) == 0 {
+		b.Fatal("no frame")
+	}
+}
+
+func BenchmarkCodecLeaseDecode(b *testing.B) {
+	frame := finishFrame(appendLeaseResponse(beginFrame(nil, msgLeaseResp), benchTasks(64)))
+	scratch := make([]WireTask, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, payload, err := decodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch, err = decodeLeaseResponse(payload, scratch[:0])
+		if err != nil || len(scratch) != 64 {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+func BenchmarkCodecResultsEncode(b *testing.B) {
+	req := ResultsRequest{ID: "bench-node", Gen: 1, Results: make([]WireResult, 64)}
+	for i := range req.Results {
+		req.Results[i] = WireResult{Dispatch: int64(i + 1), Task: i, Micros: 100}
+	}
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = finishFrame(appendResultsRequest(beginFrame(buf[:0], msgResults), req))
+	}
+}
+
+func BenchmarkCodecResultsDecode(b *testing.B) {
+	in := ResultsRequest{ID: "bench-node", Gen: 1, Results: make([]WireResult, 64)}
+	for i := range in.Results {
+		in.Results[i] = WireResult{Dispatch: int64(i + 1), Task: i, Micros: 100}
+	}
+	frame := finishFrame(appendResultsRequest(beginFrame(nil, msgResults), in))
+	var out ResultsRequest
+	out.Results = make([]WireResult, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, payload, err := decodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := decodeResultsRequest(payload, &out); err != nil || len(out.Results) != 64 {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+// BenchmarkCodecJSONLeaseRoundTrip is the same lease batch through the
+// JSON binding's encoding, for the comparison the binary codec exists to
+// win.
+func BenchmarkCodecJSONLeaseRoundTrip(b *testing.B) {
+	resp := LeaseResponse{Tasks: benchTasks(64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := json.Marshal(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out LeaseResponse
+		if err := json.Unmarshal(data, &out); err != nil || len(out.Tasks) != 64 {
+			b.Fatalf("round trip: %v", err)
+		}
+	}
+}
+
+// BenchmarkDispatchSteadyState measures the coordinator's end-to-end
+// in-process dispatch loop at steady state: submit a batch, lease it into
+// reused scratch (as the binary server does), post results out of reused
+// scratch, receive every outcome, release every dispatch. The sweep and
+// long-poll machinery is live but idle. Reported allocs/op are per task
+// and must be 0.
+func BenchmarkDispatchSteadyState(b *testing.B) {
+	co := NewCoordinator(Config{
+		DeadAfter:  time.Hour, // no death sweeps mid-benchmark
+		SweepEvery: time.Hour,
+		MaxBatch:   64,
+	})
+	defer co.Close()
+	reg, err := co.Register(RegisterRequest{ID: "bench-node", Capacity: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	dispatches := make([]*dispatch, 0, batch)
+	tasks := make([]WireTask, 0, batch)
+	results := make([]WireResult, 0, batch)
+	req := ResultsRequest{ID: "bench-node", Gen: reg.Gen}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		dispatches = dispatches[:0]
+		for k := 0; k < n; k++ {
+			d, err := co.submit("bench-node", reg.Gen, k, Work{Spin: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dispatches = append(dispatches, d)
+		}
+		tasks, err = co.LeaseAppend(LeaseRequest{ID: "bench-node", Gen: reg.Gen, Max: n, WaitMS: 1}, tasks[:0])
+		if err != nil || len(tasks) != n {
+			b.Fatalf("lease: %v (%d tasks)", err, len(tasks))
+		}
+		results = results[:0]
+		for k := range tasks {
+			results = append(results, WireResult{Dispatch: tasks[k].Dispatch, Task: tasks[k].Task, Micros: 1})
+		}
+		req.Results = results
+		if err := co.Results(req); err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range dispatches {
+			out := <-d.done
+			if out.err != nil {
+				b.Fatal(out.err)
+			}
+			d.release()
+		}
+	}
+}

@@ -26,7 +26,17 @@
 //     slots), and the service layer feeds both into running jobs' engine
 //     memberships — a node that joins mid-stream starts executing tasks
 //     for jobs submitted before it existed, making join symmetric with
-//     the node-loss path.
+//     the node-loss path;
+//   - the wire has two bindings behind one Transport interface, served on
+//     one port by Server (first-byte sniffing): JSON over HTTP — the
+//     universal bootstrap every worker registers through — and
+//     length-prefixed CRC-checked binary frames over persistent
+//     connections, whose batched lease/results bodies decode into reused
+//     buffers so the steady-state dispatch path allocates nothing per
+//     task. Workers offer their bindings at register time and the
+//     coordinator picks, so a fleet can mix transports mid-upgrade;
+//     workers also coalesce finished tasks into batched results posts
+//     instead of one POST per task.
 //
 // The coordinator is transport-level only: it never decides which node
 // runs a task. Placement stays with the skeletons' adaptive dispatch
@@ -89,6 +99,11 @@ type Config struct {
 	// churning fleet mints new ids forever; without pruning the registry
 	// grows without bound.
 	DeadRetention time.Duration
+	// Transport is the coordinator's transport preference for register-time
+	// negotiation: TransportJSON or TransportBinary pins the pick (when the
+	// worker offers it), TransportAuto or empty honours the worker's own
+	// preference order. Workers that offer nothing always get JSON.
+	Transport string
 	// Registry receives the cluster's operational metrics (default: a
 	// fresh registry).
 	Registry *metrics.Registry
@@ -138,6 +153,24 @@ type dispatch struct {
 	leasedAt time.Time
 }
 
+// dispatchPool recycles dispatch structs (and their buffered done
+// channels) across executions — the other half of the zero-allocation
+// dispatch path next to the codec's pooled frame buffers.
+var dispatchPool = sync.Pool{
+	New: func() any { return &dispatch{done: make(chan dispatchOutcome, 1)} },
+}
+
+// release returns a resolved dispatch to the pool. Only the receiver of
+// the outcome may call it, and only after receiving: resolution is
+// exactly-once (every resolving path first removes the dispatch from the
+// node's queue or in-flight map under co.mu), so once the single buffered
+// outcome has been consumed nothing else holds a reference and the done
+// channel is empty — the struct is safe to reuse as-is.
+func (d *dispatch) release() {
+	d.work = Work{}
+	dispatchPool.Put(d)
+}
+
 // node is one registration's server-side state. A re-registration under
 // the same id replaces the whole entry under a new generation.
 type node struct {
@@ -156,6 +189,11 @@ type node struct {
 	gone chan struct{}
 	completed, failed,
 	deduped int64
+	// Per-node metric handles, resolved once at registration so the lease
+	// and results hot paths never build a metric name ("cluster_node_" +
+	// LabelSafe(id) + ...) per operation.
+	mInflight  *metrics.Gauge
+	mCompleted *metrics.Counter
 }
 
 // NodeEvent is one membership change: a node registering (EventUp) or
@@ -181,6 +219,21 @@ type Coordinator struct {
 	cfg Config
 	reg *metrics.Registry
 
+	// Coordinator-wide metric handles, resolved once in NewCoordinator so
+	// the dispatch hot path (submit/Lease/Results) never takes the
+	// registry's name-lookup path per operation.
+	mRegisters      *metrics.Counter
+	mHeartbeats     *metrics.Counter
+	mDeaths         *metrics.Counter
+	mTasksFailed    *metrics.Counter
+	mDispatched     *metrics.Counter
+	mLeases         *metrics.Counter
+	mLeasesExpired  *metrics.Counter
+	mCompleted      *metrics.Counter
+	mResultsDropped *metrics.Counter
+	mResultsPosts   *metrics.Counter
+	mNodesLive      *metrics.Gauge
+
 	mu           sync.Mutex
 	nodes        map[string]*node
 	nextGen      int64
@@ -198,6 +251,11 @@ type Coordinator struct {
 	events      chan NodeEvent
 	eventsLost  atomic.Bool
 
+	// binaryServed is set by NewServer: the binary binding exists only on
+	// the dual-transport listener, so negotiation must never pick it when
+	// the coordinator is mounted as a bare HTTP handler.
+	binaryServed atomic.Bool
+
 	stop     chan struct{}
 	stopOnce sync.Once
 }
@@ -213,6 +271,17 @@ func NewCoordinator(cfg Config) *Coordinator {
 		events:   make(chan NodeEvent, 1024),
 		stop:     make(chan struct{}),
 	}
+	co.mRegisters = co.reg.Counter("cluster_registers_total")
+	co.mHeartbeats = co.reg.Counter("cluster_heartbeats_total")
+	co.mDeaths = co.reg.Counter("cluster_deaths_total")
+	co.mTasksFailed = co.reg.Counter("cluster_tasks_failed_total")
+	co.mDispatched = co.reg.Counter("cluster_tasks_dispatched_total")
+	co.mLeases = co.reg.Counter("cluster_leases_total")
+	co.mLeasesExpired = co.reg.Counter("cluster_leases_expired_total")
+	co.mCompleted = co.reg.Counter("cluster_tasks_completed_total")
+	co.mResultsDropped = co.reg.Counter("cluster_results_dropped_total")
+	co.mResultsPosts = co.reg.Counter("cluster_results_posts_total")
+	co.mNodesLive = co.reg.Gauge("cluster_nodes_live")
 	go co.sweep()
 	go co.dispatchEvents()
 	return co
@@ -331,6 +400,7 @@ func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	co.reserveGenLocked()
 	co.nextGen++
 	now := time.Now()
+	mInflight, mCompleted := co.nodeMetricsLocked(req.ID)
 	n := &node{
 		id:         req.ID,
 		gen:        co.nextGen,
@@ -342,18 +412,73 @@ func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 		inflight:   make(map[int64]*dispatch),
 		wake:       make(chan struct{}, 1),
 		gone:       make(chan struct{}),
+		mInflight:  mInflight,
+		mCompleted: mCompleted,
 	}
 	co.nodes[req.ID] = n
 	co.persistLocked()
-	co.reg.Counter("cluster_registers_total").Inc()
-	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
+	co.mRegisters.Inc()
+	co.mNodesLive.Set(co.liveCountLocked())
 	co.logf("cluster: node %s registered (gen %d, capacity %d, %.0f ops/s)",
 		n.id, n.gen, n.capacity, n.speed)
 	co.emit(NodeEvent{Kind: EventUp, Node: n.infoLocked(now)})
 	return RegisterResponse{
 		Gen:         n.gen,
 		HeartbeatMS: (co.cfg.DeadAfter / 3).Milliseconds(),
+		Transport:   co.pickTransport(req.Transports),
 	}, nil
+}
+
+// pickTransport resolves register-time transport negotiation: the worker
+// offers the bindings it speaks in preference order, the coordinator picks
+// one. An empty offer is a worker that predates negotiation — it gets an
+// empty pick (JSON), never a binding it might not know. Binary is only
+// eligible when a dual-transport Server is actually accepting frames
+// (binaryServed); a coordinator mounted as a bare HTTP handler negotiates
+// JSON no matter what is offered or pinned. A pinned coordinator
+// preference (Config.Transport json/binary) wins when offered and served;
+// otherwise the worker's first recognised offer does. JSON is the
+// universal fallback: every worker bootstraps registration over it.
+func (co *Coordinator) pickTransport(offers []string) string {
+	if len(offers) == 0 {
+		return ""
+	}
+	offered := func(name string) bool {
+		for _, o := range offers {
+			if o == name {
+				return true
+			}
+		}
+		return false
+	}
+	binaryOK := co.binaryServed.Load()
+	switch co.cfg.Transport {
+	case TransportJSON:
+		return TransportJSON
+	case TransportBinary:
+		if binaryOK && offered(TransportBinary) {
+			return TransportBinary
+		}
+	default: // auto/empty: the worker's preference order decides
+		for _, o := range offers {
+			if o == TransportJSON {
+				return o
+			}
+			if o == TransportBinary && binaryOK {
+				return o
+			}
+		}
+	}
+	return TransportJSON
+}
+
+// nodeMetricsLocked resolves a node id's per-node metric handles once, at
+// entry creation — a Register re-registration or a durable Restore lands
+// on the same underlying series as the id's previous incarnation.
+func (co *Coordinator) nodeMetricsLocked(id string) (*metrics.Gauge, *metrics.Counter) {
+	safe := metrics.LabelSafe(id)
+	return co.reg.Gauge("cluster_node_inflight_" + safe),
+		co.reg.Counter("cluster_node_" + safe + "_completed_total")
 }
 
 // lookupLocked resolves an (id, gen) pair to its live node.
@@ -374,7 +499,7 @@ func (co *Coordinator) Heartbeat(req HeartbeatRequest) error {
 		return err
 	}
 	n.lastSeen = time.Now()
-	co.reg.Counter("cluster_heartbeats_total").Inc()
+	co.mHeartbeats.Inc()
 	return nil
 }
 
@@ -423,10 +548,10 @@ func (co *Coordinator) expireLocked(n *node, state, cause string) {
 	n.failed += int64(lost)
 	close(n.gone)
 	co.persistLocked()
-	co.reg.Counter("cluster_deaths_total").Inc()
-	co.reg.Counter("cluster_tasks_failed_total").Add(int64(lost))
-	co.reg.Gauge("cluster_nodes_live").Set(co.liveCountLocked())
-	co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(n.id)).Set(0)
+	co.mDeaths.Inc()
+	co.mTasksFailed.Add(int64(lost))
+	co.mNodesLive.Set(co.liveCountLocked())
+	n.mInflight.Set(0)
 	co.logf("cluster: node %s (gen %d) %s; %d execution(s) reassigned", n.id, n.gen, cause, lost)
 	co.emit(NodeEvent{Kind: EventDown, Node: n.infoLocked(time.Now())})
 }
@@ -508,7 +633,7 @@ func (co *Coordinator) requeueExpiredLeasesLocked(n *node, now time.Time) {
 	if requeued == 0 {
 		return
 	}
-	co.reg.Counter("cluster_leases_expired_total").Add(int64(requeued))
+	co.mLeasesExpired.Add(int64(requeued))
 	co.logf("cluster: node %s: %d lease(s) expired after %v; requeued for redelivery",
 		n.id, requeued, co.cfg.LeaseTTL)
 	select {
@@ -517,10 +642,11 @@ func (co *Coordinator) requeueExpiredLeasesLocked(n *node, now time.Time) {
 	}
 }
 
-// submit queues one execution on a node and returns the channel its
-// outcome resolves on. Pools call this from Exec; an error means the node
-// is already gone and the caller should fail the execution immediately.
-func (co *Coordinator) submit(id string, gen int64, task int, w Work) (<-chan dispatchOutcome, error) {
+// submit queues one execution on a node and returns its dispatch. Pools
+// call this from Exec, receive the single outcome from d.done, and then
+// release the dispatch back to the pool; an error means the node is
+// already gone and the caller should fail the execution immediately.
+func (co *Coordinator) submit(id string, gen int64, task int, w Work) (*dispatch, error) {
 	co.mu.Lock()
 	n, err := co.lookupLocked(id, gen)
 	if err != nil {
@@ -529,25 +655,32 @@ func (co *Coordinator) submit(id string, gen int64, task int, w Work) (<-chan di
 	}
 	co.reserveDispatchLocked()
 	co.nextDispatch++
-	d := &dispatch{
-		id:   co.nextDispatch,
-		task: task,
-		work: w,
-		done: make(chan dispatchOutcome, 1),
-	}
+	d := dispatchPool.Get().(*dispatch)
+	d.id = co.nextDispatch
+	d.task = task
+	d.work = w
 	n.queue = append(n.queue, d)
 	co.mu.Unlock()
-	co.reg.Counter("cluster_tasks_dispatched_total").Inc()
+	co.mDispatched.Inc()
 	select {
 	case n.wake <- struct{}{}:
 	default:
 	}
-	return d.done, nil
+	return d, nil
 }
 
 // Lease hands out up to req.Max queued executions, long-polling up to
 // req.WaitMS (bounded by MaxLeaseWait) while the queue is empty.
 func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	tasks, err := co.LeaseAppend(req, nil)
+	return LeaseResponse{Tasks: tasks}, err
+}
+
+// LeaseAppend is Lease with caller-owned memory: the leased batch is
+// appended onto buf (pass a reused slice's [:0] — the binary server
+// threads per-connection scratch through here) and the long-poll timer is
+// created lazily, so a lease that finds work queued allocates nothing.
+func (co *Coordinator) LeaseAppend(req LeaseRequest, buf []WireTask) ([]WireTask, error) {
 	wait := time.Duration(req.WaitMS) * time.Millisecond
 	if wait <= 0 || wait > co.cfg.MaxLeaseWait {
 		wait = co.cfg.MaxLeaseWait
@@ -556,32 +689,37 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	if maxTasks < 1 || maxTasks > co.cfg.MaxBatch {
 		maxTasks = co.cfg.MaxBatch
 	}
-	deadline := time.NewTimer(wait)
-	defer deadline.Stop()
+	var deadline *time.Timer
+	var deadlineC <-chan time.Time
+	defer func() {
+		if deadline != nil {
+			deadline.Stop()
+		}
+	}()
 	for {
 		co.mu.Lock()
 		n, err := co.lookupLocked(req.ID, req.Gen)
 		if err != nil {
 			co.mu.Unlock()
-			return LeaseResponse{}, err
+			return buf, err
 		}
-		n.lastSeen = time.Now()
+		now := time.Now()
+		n.lastSeen = now
 		take := len(n.queue)
 		if take > maxTasks {
 			take = maxTasks
 		}
-		var out []WireTask
 		for _, d := range n.queue[:take] {
-			d.leasedAt = time.Now()
+			d.leasedAt = now
 			n.inflight[d.id] = d
-			out = append(out, WireTask{Dispatch: d.id, Task: d.task, Work: d.work})
+			buf = append(buf, WireTask{Dispatch: d.id, Task: d.task, Work: d.work})
 		}
 		n.queue = n.queue[0:copy(n.queue, n.queue[take:])]
 		if take > 0 {
 			// The per-node gauge is written under co.mu so it can never race
 			// the sweeper's prune of this node's series (see pruneLocked).
-			co.reg.Counter("cluster_leases_total").Inc()
-			co.reg.Gauge("cluster_node_inflight_" + metrics.LabelSafe(req.ID)).Set(int64(len(n.inflight)))
+			co.mLeases.Inc()
+			n.mInflight.Set(int64(len(n.inflight)))
 		}
 		queued := len(n.queue)
 		wake, gone := n.wake, n.gone
@@ -596,16 +734,20 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 				default:
 				}
 			}
-			return LeaseResponse{Tasks: out}, nil
+			return buf, nil
+		}
+		if deadline == nil {
+			deadline = time.NewTimer(wait)
+			deadlineC = deadline.C
 		}
 		select {
 		case <-wake:
 		case <-gone:
-			return LeaseResponse{}, ErrGone
-		case <-deadline.C:
-			return LeaseResponse{}, nil
+			return buf, ErrGone
+		case <-deadlineC:
+			return buf, nil
 		case <-co.stop:
-			return LeaseResponse{}, ErrGone
+			return buf, ErrGone
 		}
 	}
 }
@@ -619,12 +761,16 @@ func (co *Coordinator) Results(req ResultsRequest) error {
 	n, err := co.lookupLocked(req.ID, req.Gen)
 	if err != nil {
 		co.mu.Unlock()
-		co.reg.Counter("cluster_results_dropped_total").Add(int64(len(req.Results)))
+		co.mResultsDropped.Add(int64(len(req.Results)))
 		return err
 	}
 	n.lastSeen = time.Now()
+	// The posts counter next to the completed counter makes batching
+	// observable: completions-per-post is the worker flusher's batch depth.
+	co.mResultsPosts.Inc()
 	var accepted, dropped int64
-	for _, r := range req.Results {
+	for i := range req.Results {
+		r := &req.Results[i]
 		d, ok := n.inflight[r.Dispatch]
 		if !ok {
 			dropped++
@@ -638,12 +784,12 @@ func (co *Coordinator) Results(req ResultsRequest) error {
 	}
 	// Per-node series are written under co.mu: a prune of this node's
 	// series cannot interleave between the lookup above and these writes
-	// and have them resurrect deleted series (see pruneLocked).
-	safe := metrics.LabelSafe(req.ID)
-	co.reg.Counter("cluster_tasks_completed_total").Add(accepted)
-	co.reg.Counter("cluster_node_" + safe + "_completed_total").Add(accepted)
-	co.reg.Counter("cluster_results_dropped_total").Add(dropped)
-	co.reg.Gauge("cluster_node_inflight_" + safe).Set(int64(len(n.inflight)))
+	// and have them resurrect deleted series (see pruneLocked). The handles
+	// themselves were resolved at registration — no name building here.
+	co.mCompleted.Add(accepted)
+	n.mCompleted.Add(accepted)
+	co.mResultsDropped.Add(dropped)
+	n.mInflight.Set(int64(len(n.inflight)))
 	co.mu.Unlock()
 	return nil
 }

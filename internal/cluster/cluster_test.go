@@ -45,7 +45,7 @@ func TestRegisterLeaseResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case out := <-done:
+	case out := <-done.done:
 		if out.err != nil || out.micros != 42 {
 			t.Fatalf("outcome = %+v", out)
 		}
@@ -84,9 +84,9 @@ func TestMissedHeartbeatsFailInflightAndQueued(t *testing.T) {
 	queued, _ := co.submit("n1", reg.Gen, 2, Work{})
 
 	// No heartbeats: both dispatches must fail over within the bound.
-	for name, ch := range map[string]<-chan dispatchOutcome{"inflight": inflight, "queued": queued} {
+	for name, ch := range map[string]*dispatch{"inflight": inflight, "queued": queued} {
 		select {
-		case out := <-ch:
+		case out := <-ch.done:
 			if !errors.Is(out.err, ErrNodeLost) {
 				t.Errorf("%s outcome err = %v, want ErrNodeLost", name, out.err)
 			}
@@ -111,7 +111,7 @@ func TestLateResultAfterDeathIsDeduped(t *testing.T) {
 	if err := co.Evict("n1"); err != nil {
 		t.Fatal(err)
 	}
-	out := <-done
+	out := <-done.done
 	if !errors.Is(out.err, ErrNodeLost) {
 		t.Fatalf("evicted dispatch err = %v", out.err)
 	}
@@ -136,7 +136,7 @@ func TestReRegistrationSupersedesOldGeneration(t *testing.T) {
 		t.Fatal("re-registration reused the generation")
 	}
 	// The superseded incarnation's work failed over...
-	if out := <-done; !errors.Is(out.err, ErrNodeLost) {
+	if out := <-done.done; !errors.Is(out.err, ErrNodeLost) {
 		t.Fatalf("superseded dispatch err = %v", out.err)
 	}
 	// ...and its credentials no longer lease.
@@ -156,7 +156,7 @@ func TestGracefulLeaveFailsOverImmediately(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case out := <-done:
+	case out := <-done.done:
 		if !errors.Is(out.err, ErrNodeLost) {
 			t.Fatalf("left dispatch err = %v", out.err)
 		}
@@ -212,7 +212,7 @@ func TestExpiredLeaseIsRedeliveredOnLiveNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case out := <-done:
+	case out := <-done.done:
 		if out.err != nil {
 			t.Fatalf("outcome = %+v", out)
 		}

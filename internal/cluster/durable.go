@@ -83,6 +83,7 @@ func (co *Coordinator) Restore(st RegistryState) {
 		}
 		gone := make(chan struct{})
 		close(gone) // nothing may ever wait on a restored corpse
+		mInflight, mCompleted := co.nodeMetricsLocked(seed.ID)
 		co.nodes[seed.ID] = &node{
 			id:         seed.ID,
 			gen:        seed.Gen,
@@ -94,6 +95,8 @@ func (co *Coordinator) Restore(st RegistryState) {
 			inflight:   make(map[int64]*dispatch),
 			wake:       make(chan struct{}, 1),
 			gone:       gone,
+			mInflight:  mInflight,
+			mCompleted: mCompleted,
 		}
 	}
 	co.reg.Counter("cluster_registry_restores_total").Inc()

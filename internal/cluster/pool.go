@@ -181,12 +181,15 @@ func (p *Pool) Exec(c rt.Ctx, i int, t platform.Task) platform.Result {
 	m, st := p.member(i)
 	start := c.Now()
 	st.dispatched.Add(1)
-	done, err := p.coord.submit(m.ID, m.Gen, t.ID, EncodeWork(t.Cost, t.Data))
+	d, err := p.coord.submit(m.ID, m.Gen, t.ID, EncodeWork(t.Cost, t.Data))
 	if err != nil {
 		st.failed.Add(1)
 		return platform.Result{Task: t, Worker: i, Start: start, Err: ErrNodeLost}
 	}
-	out := <-done
+	// Exec is the dispatch's sole outcome receiver, so after this receive
+	// nothing references it and it returns to the pool (see dispatch.release).
+	out := <-d.done
+	d.release()
 	if out.err != nil {
 		st.failed.Add(1)
 		return platform.Result{Task: t, Worker: i, Start: start, Time: c.Now() - start, Err: out.err}

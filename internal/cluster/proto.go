@@ -26,6 +26,23 @@ type WorkCarrier interface {
 	ClusterWork() Work
 }
 
+// Transport names. Selection is negotiated at register time: the worker
+// offers the bindings it speaks, the coordinator picks one and echoes it
+// in the response. A peer that predates negotiation offers (or picks)
+// nothing and lands on JSON, so mixed fleets and rolling upgrades keep
+// working.
+const (
+	// TransportJSON is the original binding: JSON request/response bodies
+	// over HTTP POST, one round trip per verb.
+	TransportJSON = "json"
+	// TransportBinary is the length-prefixed binary codec (see codec.go)
+	// over persistent connections multiplexed onto the same cluster port.
+	TransportBinary = "binary"
+	// TransportAuto is the configuration wildcard: offer (worker) or prefer
+	// (coordinator) the binary binding, fall back to JSON.
+	TransportAuto = "auto"
+)
+
 // RegisterRequest announces a worker to the coordinator.
 type RegisterRequest struct {
 	ID string `json:"id"`
@@ -35,6 +52,10 @@ type RegisterRequest struct {
 	// iterations/second — the register-time calibration sample that feeds a
 	// cluster job's initial dispatch weights.
 	SpeedOPS float64 `json:"speed_ops"`
+	// Transports is the worker's transport offer, most preferred first
+	// (absent from workers that predate negotiation, which is an offer of
+	// exactly the JSON binding).
+	Transports []string `json:"transports,omitempty"`
 }
 
 // RegisterResponse issues the worker's generation token.
@@ -43,6 +64,10 @@ type RegisterResponse struct {
 	// HeartbeatMS advises the worker how often to heartbeat (a third of the
 	// coordinator's dead-after bound).
 	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// Transport is the binding the coordinator picked from the worker's
+	// offer; the worker speaks it for every subsequent verb. Empty (from a
+	// coordinator that predates negotiation) means JSON.
+	Transport string `json:"transport,omitempty"`
 }
 
 // LeaseRequest pulls up to Max queued tasks, long-polling up to WaitMS

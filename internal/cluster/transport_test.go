@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startTestServer serves a coordinator's dual-transport listener on a
+// loopback port and returns its base URL.
+func startTestServer(t *testing.T, co *Coordinator) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(co)
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return "http://" + ln.Addr().String()
+}
+
+// TestTransportContract runs the protocol contract — register, lease,
+// results, heartbeat, stale-gen 410, result dedup, leave — against every
+// binding through one shared harness: the wire format must never change
+// the protocol's semantics.
+func TestTransportContract(t *testing.T) {
+	for _, name := range []string{TransportJSON, TransportBinary} {
+		t.Run(name, func(t *testing.T) {
+			co := testCoordinator(t, time.Second)
+			url := startTestServer(t, co)
+			tr, err := NewTransport(name, url, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			if tr.Name() != name {
+				t.Fatalf("transport name = %q, want %q", tr.Name(), name)
+			}
+
+			// Register issues a generation and echoes a pick from the offer.
+			reg, err := tr.Register(RegisterRequest{
+				ID: "n1", Capacity: 2, SpeedOPS: 1e6,
+				Transports: []string{name},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reg.Gen == 0 || reg.HeartbeatMS <= 0 {
+				t.Fatalf("register response %+v", reg)
+			}
+			if reg.Transport != name {
+				t.Fatalf("negotiated transport = %q, want %q", reg.Transport, name)
+			}
+
+			// Heartbeat under the live gen succeeds; a stale gen is 410.
+			if err := tr.Heartbeat(HeartbeatRequest{ID: "n1", Gen: reg.Gen}); err != nil {
+				t.Fatalf("heartbeat: %v", err)
+			}
+			if err := tr.Heartbeat(HeartbeatRequest{ID: "n1", Gen: reg.Gen + 1}); !errors.Is(err, ErrGone) {
+				t.Fatalf("stale-gen heartbeat err = %v, want ErrGone", err)
+			}
+
+			// Empty long-poll lease times out with an empty batch.
+			empty, err := tr.Lease(LeaseRequest{ID: "n1", Gen: reg.Gen, Max: 4, WaitMS: 20}, nil)
+			if err != nil || len(empty) != 0 {
+				t.Fatalf("empty lease = %v, %v", empty, err)
+			}
+
+			// Submit → lease → results resolves the dispatch.
+			d, err := co.submit("n1", reg.Gen, 7, Work{Spin: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks, err := tr.Lease(LeaseRequest{ID: "n1", Gen: reg.Gen, Max: 4, WaitMS: 1000}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tasks) != 1 || tasks[0].Task != 7 || tasks[0].Spin != 10 {
+				t.Fatalf("lease = %+v", tasks)
+			}
+			res := ResultsRequest{ID: "n1", Gen: reg.Gen, Results: []WireResult{
+				{Dispatch: tasks[0].Dispatch, Task: 7, Micros: 42},
+			}}
+			if err := tr.Results(res); err != nil {
+				t.Fatal(err)
+			}
+			out := <-d.done
+			d.release()
+			if out.err != nil || out.micros != 42 {
+				t.Fatalf("outcome = %+v", out)
+			}
+
+			// A duplicate post is deduplicated, not re-resolved.
+			if err := tr.Results(res); err != nil {
+				t.Fatal(err)
+			}
+			nodes := co.Nodes()
+			if len(nodes) != 1 || nodes[0].Completed != 1 || nodes[0].Deduped != 1 {
+				t.Fatalf("after duplicate post: %+v", nodes)
+			}
+
+			// Leave retires the registration: every verb is 410 afterwards.
+			if err := tr.Leave(LeaveRequest{ID: "n1", Gen: reg.Gen}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.Lease(LeaseRequest{ID: "n1", Gen: reg.Gen, Max: 1, WaitMS: 10}, nil); !errors.Is(err, ErrGone) {
+				t.Fatalf("post-leave lease err = %v, want ErrGone", err)
+			}
+		})
+	}
+}
+
+// TestTransportNegotiation pins the pick matrix: worker offers ×
+// coordinator preference, including legacy peers on either side and a
+// coordinator mounted without the dual-transport server.
+func TestTransportNegotiation(t *testing.T) {
+	cases := []struct {
+		pref   string
+		offers []string
+		served bool // a dual-transport Server fronts the coordinator
+		want   string
+	}{
+		{"", nil, true, ""}, // legacy worker: no offer, no echo
+		{"", []string{TransportBinary, TransportJSON}, true, TransportBinary},
+		{"", []string{TransportJSON, TransportBinary}, true, TransportJSON},
+		{"", []string{"quic", TransportJSON}, true, TransportJSON}, // unknown offers skipped
+		{"", []string{"quic"}, true, TransportJSON},
+		{TransportAuto, []string{TransportBinary, TransportJSON}, true, TransportBinary},
+		{TransportJSON, []string{TransportBinary, TransportJSON}, true, TransportJSON},
+		{TransportBinary, []string{TransportBinary, TransportJSON}, true, TransportBinary},
+		{TransportBinary, []string{TransportJSON}, true, TransportJSON}, // pinned but not offered
+		// Bare HTTP handler (no Server): binary must never be picked even
+		// when offered and pinned — nothing would answer the frames.
+		{"", []string{TransportBinary, TransportJSON}, false, TransportJSON},
+		{TransportBinary, []string{TransportBinary, TransportJSON}, false, TransportJSON},
+	}
+	for i, c := range cases {
+		co := NewCoordinator(Config{Transport: c.pref})
+		if c.served {
+			NewServer(co) // marks the binary binding live; no listener needed
+		}
+		reg, err := co.Register(RegisterRequest{
+			ID: fmt.Sprintf("n%d", i), Capacity: 1, Transports: c.offers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Transport != c.want {
+			t.Errorf("pref=%q offers=%v served=%v: picked %q, want %q", c.pref, c.offers, c.served, reg.Transport, c.want)
+		}
+		co.Close()
+	}
+}
+
+// TestWorkerNegotiatesBinary runs the real worker runtime against the
+// sniffing server and checks it lands on the binary binding end to end.
+func TestWorkerNegotiatesBinary(t *testing.T) {
+	co := testCoordinator(t, time.Second)
+	url := startTestServer(t, co)
+	w, err := StartWorker(WorkerConfig{
+		Coordinator: url, ID: "wb", Capacity: 2, BenchSpin: 10_000,
+		Heartbeat: 20 * time.Millisecond, LeaseWait: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	if got := w.TransportName(); got != TransportBinary {
+		t.Fatalf("auto worker negotiated %q, want binary", got)
+	}
+	rep, _ := runFarmOverPool(t, co, 60, 200)
+	if len(rep.Results) != 60 {
+		t.Fatalf("completed %d/60 tasks over binary transport", len(rep.Results))
+	}
+}
+
+// TestMixedTransportFleet streams one farm across a JSON worker and a
+// binary worker simultaneously — the rolling-upgrade scenario negotiation
+// exists for — and requires exactly-once completion plus work on both.
+func TestMixedTransportFleet(t *testing.T) {
+	co := testCoordinator(t, time.Second)
+	url := startTestServer(t, co)
+	for _, wc := range []struct{ id, transport string }{
+		{"w-json", TransportJSON},
+		{"w-binary", TransportBinary},
+	} {
+		w, err := StartWorker(WorkerConfig{
+			Coordinator: url, ID: wc.id, Capacity: 2, BenchSpin: 10_000,
+			Heartbeat: 20 * time.Millisecond, LeaseWait: 100 * time.Millisecond,
+			Transport: wc.transport,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+		if got := w.TransportName(); got != wc.transport {
+			t.Fatalf("%s negotiated %q, want %q", wc.id, got, wc.transport)
+		}
+	}
+	const n = 120
+	rep, pool := runFarmOverPool(t, co, n, 200)
+	if len(rep.Results) != n {
+		t.Fatalf("mixed fleet completed %d/%d", len(rep.Results), n)
+	}
+	counts := pool.NodeCounts()
+	total := int64(0)
+	for _, nc := range counts {
+		if nc.Completed == 0 {
+			t.Errorf("node %s completed nothing in the mixed fleet", nc.Node)
+		}
+		total += nc.Completed
+	}
+	if total != n {
+		t.Errorf("per-node completions sum to %d, want %d (exactly-once)", total, n)
+	}
+}
+
+// TestWorkerBatchesResults pins the flusher fix: a worker executing a
+// burst of near-instant tasks must deliver them in fewer results posts
+// than tasks — the old runtime posted once per task.
+func TestWorkerBatchesResults(t *testing.T) {
+	co := testCoordinator(t, time.Second)
+	url := startTestServer(t, co)
+	w, err := StartWorker(WorkerConfig{
+		Coordinator: url, ID: "wf", Capacity: 2, Batch: 8, BenchSpin: 10_000,
+		Heartbeat: 20 * time.Millisecond, LeaseWait: 100 * time.Millisecond,
+		Transport:     TransportJSON,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	reg := co.Metrics()
+
+	const n = 200
+	var resolved atomic.Int64
+	done := make(chan struct{})
+	live := co.Live()
+	if len(live) != 1 {
+		t.Fatalf("live = %+v", live)
+	}
+	for i := 0; i < n; i++ {
+		d, err := co.submit(live[0].ID, live[0].Gen, i, Work{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			out := <-d.done
+			d.release()
+			if out.err == nil && resolved.Add(1) == n {
+				close(done)
+			}
+		}()
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d tasks resolved", resolved.Load(), n)
+	}
+	completed := reg.Counter("cluster_tasks_completed_total").Value()
+	posts := reg.Counter("cluster_results_posts_total").Value()
+	if completed < n {
+		t.Fatalf("completed %d, want >= %d", completed, n)
+	}
+	if posts >= completed {
+		t.Errorf("results posts = %d for %d completions; flusher is not batching", posts, completed)
+	}
+}

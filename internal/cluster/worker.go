@@ -1,8 +1,6 @@
 package cluster
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -30,7 +28,20 @@ type WorkerConfig struct {
 	Heartbeat time.Duration
 	// LeaseWait is the long-poll bound requested per lease (default 2s).
 	LeaseWait time.Duration
-	// Client is the HTTP client (default: 30s-timeout client).
+	// Transport selects the wire binding to offer at registration:
+	// TransportJSON, TransportBinary, or TransportAuto (default auto —
+	// offer binary first, fall back to JSON). The coordinator picks from
+	// the offer; registration itself always bootstraps over JSON, so a
+	// worker preferring binary still joins a JSON-only coordinator.
+	Transport string
+	// FlushInterval is an optional linger before a result batch posts,
+	// letting more completions coalesce into the same frame. The default 0
+	// adds no latency: the flusher is self-clocking — the first completion
+	// posts immediately, and completions arriving during that post's round
+	// trip batch into the next one, so batches grow exactly when load does.
+	FlushInterval time.Duration
+	// Client is the HTTP client for the JSON binding (default:
+	// DefaultWorkerClient, tuned for persistent connections).
 	Client *http.Client
 	// Logf, when set, receives lifecycle events.
 	Logf func(format string, args ...any)
@@ -57,24 +68,55 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 		c.LeaseWait = 2 * time.Second
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: 30 * time.Second}
+		c.Client = DefaultWorkerClient()
 	}
 	return c
 }
 
+// transportOffer maps the configured preference onto the register-time
+// offer list, most preferred first.
+func transportOffer(pref string) []string {
+	switch pref {
+	case TransportJSON:
+		return []string{TransportJSON}
+	case TransportBinary:
+		return []string{TransportBinary}
+	}
+	return []string{TransportBinary, TransportJSON}
+}
+
+// maxResultsFlush caps one results frame; a flood of completions splits
+// into successive posts instead of one unbounded frame.
+const maxResultsFlush = 256
+
+// genResult is one completed execution tagged with the generation it was
+// leased under, queued for the result flusher.
+type genResult struct {
+	gen int64
+	res WireResult
+}
+
 // Worker is a running worker-node: registered with its coordinator,
 // heartbeating, and executing leased tasks on Capacity concurrent
-// executors. Create one with StartWorker; Stop leaves gracefully.
+// executors. Completed tasks funnel through a single flusher that
+// coalesces them into batched result posts. Create one with StartWorker;
+// Stop leaves gracefully.
 type Worker struct {
-	cfg   WorkerConfig
-	speed float64
+	cfg    WorkerConfig
+	speed  float64
+	offers []string
+	boot   Transport // JSON binding; registration always bootstraps here
+	bin    Transport // binary binding, created on first negotiation
 
-	mu  sync.Mutex
-	gen int64
+	mu     sync.Mutex
+	gen    int64
+	active Transport // the negotiated binding for lease/results/heartbeat
 
+	results  chan genResult
 	stop     chan struct{}
 	stopOnce sync.Once
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // executors + heartbeat
+	flushWG  sync.WaitGroup // result flusher
 }
 
 // Benchmark measures this process's spin speed in iterations/second — the
@@ -115,16 +157,19 @@ func ExecWork(w Work) time.Duration {
 	return time.Since(start)
 }
 
-// StartWorker benchmarks, registers, and starts the heartbeat and executor
-// loops. It returns once registration succeeds; a coordinator that is not
-// up yet is retried for a few seconds so worker and coordinator processes
-// can start in any order.
+// StartWorker benchmarks, registers, and starts the heartbeat, executor,
+// and result-flusher loops. It returns once registration succeeds; a
+// coordinator that is not up yet is retried for a few seconds so worker
+// and coordinator processes can start in any order.
 func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
-		cfg:   cfg,
-		speed: Benchmark(cfg.BenchSpin),
-		stop:  make(chan struct{}),
+		cfg:     cfg,
+		speed:   Benchmark(cfg.BenchSpin),
+		offers:  transportOffer(cfg.Transport),
+		boot:    NewJSONTransport(cfg.Coordinator, cfg.Client),
+		results: make(chan genResult, 4*maxResultsFlush),
+		stop:    make(chan struct{}),
 	}
 	var hb time.Duration
 	var err error
@@ -141,8 +186,10 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Heartbeat <= 0 {
 		w.cfg.Heartbeat = hb
 	}
-	w.logf("cluster: worker %s registered with %s (%.0f ops/s, capacity %d)",
-		cfg.ID, cfg.Coordinator, w.speed, cfg.Capacity)
+	w.logf("cluster: worker %s registered with %s (%.0f ops/s, capacity %d, transport %s)",
+		cfg.ID, cfg.Coordinator, w.speed, cfg.Capacity, w.TransportName())
+	w.flushWG.Add(1)
+	go w.flushLoop()
 	w.wg.Add(1)
 	go w.heartbeatLoop()
 	for i := 0; i < cfg.Capacity; i++ {
@@ -158,15 +205,31 @@ func (w *Worker) ID() string { return w.cfg.ID }
 // SpeedOPS returns the benchmark-derived speed reported at registration.
 func (w *Worker) SpeedOPS() float64 { return w.speed }
 
+// TransportName reports the currently negotiated wire binding.
+func (w *Worker) TransportName() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.active.Name()
+}
+
 // Stop leaves the cluster gracefully (outstanding work fails over
 // immediately rather than waiting for the dead-after bound) and waits for
 // the loops to exit.
 func (w *Worker) Stop() {
+	// The whole teardown lives inside the Once: a concurrent second Stop
+	// blocks until the first finishes instead of double-closing channels.
 	w.stopOnce.Do(func() {
 		close(w.stop)
-		w.postJSON("/cluster/v1/leave", LeaveRequest{ID: w.cfg.ID, Gen: w.currentGen()}, nil)
+		gen, tr := w.session()
+		tr.Leave(LeaveRequest{ID: w.cfg.ID, Gen: gen})
+		w.wg.Wait()
+		close(w.results)
+		w.flushWG.Wait()
+		w.boot.Close()
+		if w.bin != nil {
+			w.bin.Close()
+		}
 	})
-	w.wg.Wait()
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -175,26 +238,44 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
-func (w *Worker) currentGen() int64 {
+// session reads the current generation and its negotiated transport
+// together, so a verb never pairs a fresh gen with a stale binding.
+func (w *Worker) session() (int64, Transport) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.gen
+	return w.gen, w.active
 }
 
-// register (re-)registers and installs the fresh generation. It returns
-// the coordinator-advertised heartbeat interval.
+// register (re-)registers over the JSON bootstrap binding, installs the
+// fresh generation, and binds the coordinator's transport pick. It
+// returns the coordinator-advertised heartbeat interval.
 func (w *Worker) register() (time.Duration, error) {
-	var resp RegisterResponse
-	err := w.postJSON("/cluster/v1/register", RegisterRequest{
-		ID:       w.cfg.ID,
-		Capacity: w.cfg.Capacity,
-		SpeedOPS: w.speed,
-	}, &resp)
+	resp, err := w.boot.Register(RegisterRequest{
+		ID:         w.cfg.ID,
+		Capacity:   w.cfg.Capacity,
+		SpeedOPS:   w.speed,
+		Transports: w.offers,
+	})
 	if err != nil {
 		return 0, fmt.Errorf("cluster: register %s with %s: %w", w.cfg.ID, w.cfg.Coordinator, err)
 	}
+	active := w.boot
+	if resp.Transport == TransportBinary {
+		if w.bin == nil {
+			bin, berr := NewBinaryTransport(w.cfg.Coordinator)
+			if berr != nil {
+				w.logf("cluster: worker %s: binary transport unavailable (%v); staying on json", w.cfg.ID, berr)
+			} else {
+				w.bin = bin
+			}
+		}
+		if w.bin != nil {
+			active = w.bin
+		}
+	}
 	w.mu.Lock()
 	w.gen = resp.Gen
+	w.active = active
 	w.mu.Unlock()
 	hb := time.Duration(resp.HeartbeatMS) * time.Millisecond
 	if hb <= 0 {
@@ -239,31 +320,33 @@ func (w *Worker) heartbeatLoop() {
 			return
 		case <-t.C:
 		}
-		gen := w.currentGen()
-		err := w.postJSON("/cluster/v1/heartbeat", HeartbeatRequest{ID: w.cfg.ID, Gen: gen}, nil)
+		gen, tr := w.session()
+		err := tr.Heartbeat(HeartbeatRequest{ID: w.cfg.ID, Gen: gen})
 		if errors.Is(err, ErrGone) {
 			w.reRegister(gen)
 		}
 	}
 }
 
-// executorLoop leases, executes, and reports until stopped.
+// executorLoop leases and executes until stopped, reusing one task
+// scratch slice across leases and handing completions to the flusher.
 func (w *Worker) executorLoop() {
 	defer w.wg.Done()
+	var scratch []WireTask
 	for {
 		select {
 		case <-w.stop:
 			return
 		default:
 		}
-		gen := w.currentGen()
-		var lease LeaseResponse
-		err := w.postJSON("/cluster/v1/lease", LeaseRequest{
+		gen, tr := w.session()
+		var err error
+		scratch, err = tr.Lease(LeaseRequest{
 			ID:     w.cfg.ID,
 			Gen:    gen,
 			Max:    w.cfg.Batch,
 			WaitMS: w.cfg.LeaseWait.Milliseconds(),
-		}, &lease)
+		}, scratch[:0])
 		if errors.Is(err, ErrGone) {
 			w.reRegister(gen)
 			continue
@@ -272,17 +355,62 @@ func (w *Worker) executorLoop() {
 			w.sleepOrStop(200 * time.Millisecond)
 			continue
 		}
-		if len(lease.Tasks) == 0 {
+		if len(scratch) == 0 {
 			continue // long-poll timeout
 		}
-		// A batch executes serially but every task counts as in-flight from
-		// lease time, so results post per task: the coordinator's LeaseTTL
-		// only has to cover one execution, not Batch of them, and a batch's
-		// tail is never spuriously requeued while its head is still running.
-		for _, t := range lease.Tasks {
+		for i := range scratch {
+			t := &scratch[i]
 			d := ExecWork(t.Work)
-			w.postResults(gen, []WireResult{{Dispatch: t.Dispatch, Task: t.Task, Micros: d.Microseconds()}})
+			select {
+			case w.results <- genResult{gen: gen, res: WireResult{Dispatch: t.Dispatch, Task: t.Task, Micros: d.Microseconds()}}:
+			case <-w.stop:
+				// The leave posted by Stop already failed these dispatches
+				// over; a late post would only be deduped.
+				return
+			}
 		}
+	}
+}
+
+// flushLoop is the single result-posting path: it coalesces completions
+// from every executor into batched results posts. The loop is
+// self-clocking — an idle worker's first completion posts immediately,
+// and everything that completes during that post's round trip becomes the
+// next batch — so batching adds no latency when idle and grows with load,
+// replacing the old one-POST-per-task discipline whose round trips gated
+// throughput. An optional FlushInterval lingers before each post to
+// deepen batches at a bounded latency cost. Batches stay well under
+// LeaseTTL: a completion is never held longer than FlushInterval plus one
+// post round trip.
+func (w *Worker) flushLoop() {
+	defer w.flushWG.Done()
+	batch := make([]WireResult, 0, maxResultsFlush)
+	for first := range w.results {
+		if w.cfg.FlushInterval > 0 {
+			w.sleepOrStop(w.cfg.FlushInterval)
+		}
+		gen := first.gen
+		batch = append(batch[:0], first.res)
+	drain:
+		for len(batch) < maxResultsFlush {
+			select {
+			case gr, ok := <-w.results:
+				if !ok {
+					break drain
+				}
+				if gr.gen != gen {
+					// Generation boundary: flush what we have, then start the
+					// new registration's batch.
+					w.postResults(gen, batch)
+					gen = gr.gen
+					batch = batch[:0]
+				}
+				batch = append(batch, gr.res)
+			default:
+				break drain
+			}
+		}
+		w.postResults(gen, batch)
 	}
 }
 
@@ -294,10 +422,12 @@ func (w *Worker) executorLoop() {
 // abandoned: the coordinator has already reassigned the work, and posting
 // under a new generation would only be deduped anyway.
 func (w *Worker) postResults(gen int64, results []WireResult) {
+	if len(results) == 0 {
+		return
+	}
+	_, tr := w.session()
 	for attempt := 0; ; attempt++ {
-		err := w.postJSON("/cluster/v1/results", ResultsRequest{
-			ID: w.cfg.ID, Gen: gen, Results: results,
-		}, nil)
+		err := tr.Results(ResultsRequest{ID: w.cfg.ID, Gen: gen, Results: results})
 		if err == nil || errors.Is(err, ErrGone) {
 			return
 		}
@@ -320,32 +450,4 @@ func (w *Worker) sleepOrStop(d time.Duration) bool {
 	case <-time.After(d):
 		return true
 	}
-}
-
-// postJSON posts req to the coordinator and decodes into out when non-nil.
-// HTTP 410 surfaces as ErrGone.
-func (w *Worker) postJSON(path string, req, out any) error {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(req); err != nil {
-		return err
-	}
-	resp, err := w.cfg.Client.Post(w.cfg.Coordinator+path, "application/json", &buf)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusGone {
-		return ErrGone
-	}
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("cluster: HTTP %d: %s", resp.StatusCode, e.Error)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

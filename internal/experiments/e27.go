@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"grasp/internal/cluster"
+	"grasp/internal/report"
+	"grasp/internal/service"
+)
+
+// E27TransportComparison puts the coordinator/worker wire itself under
+// the experiment harness. The protocol has two bindings — JSON over HTTP
+// POSTs (the universal bootstrap) and length-prefixed binary frames over
+// persistent connections — negotiated per worker at register time, so a
+// fleet can mix them mid-upgrade. Two deterministic comparisons:
+//
+//  1. Encoding size: the same canonical lease and results batches encoded
+//     by each binding. The byte counts are pure functions of the batch,
+//     so the table is identical on every run.
+//  2. Semantics: one farm workload through a JSON fleet, a binary fleet,
+//     and a mixed fleet (one pinned JSON worker, one auto worker that
+//     negotiates binary). Every fleet must deliver exactly-once — the
+//     wire format must never change the protocol's meaning.
+//
+// Expected shape: binary frames are a fraction of the JSON bytes for both
+// hot verbs, every fleet drains exactly-once, the mixed fleet spans both
+// nodes, and the auto worker lands on binary.
+func E27TransportComparison(seed int64) Result {
+	const (
+		batch   = 64
+		nTasks  = 48
+		sleepUS = 500
+	)
+
+	table := report.NewTable("E27 — wire transport comparison: JSON vs binary framing",
+		"comparison", "json", "binary", "note")
+	var checks []Check
+
+	// 1. Encoding size of the two hot verbs at a full batch.
+	tasks := make([]cluster.WireTask, batch)
+	results := cluster.ResultsRequest{ID: "node-a", Gen: 1, Results: make([]cluster.WireResult, batch)}
+	for i := 0; i < batch; i++ {
+		tasks[i] = cluster.WireTask{Dispatch: int64(i + 1), Task: i, Work: cluster.Work{Cost: 1, SleepUS: 500}}
+		results.Results[i] = cluster.WireResult{Dispatch: int64(i + 1), Task: i, Micros: 500}
+	}
+	jsonLease, err := json.Marshal(cluster.LeaseResponse{Tasks: tasks})
+	if err != nil {
+		panic(err)
+	}
+	jsonResults, err := json.Marshal(results)
+	if err != nil {
+		panic(err)
+	}
+	binLease, binResults := cluster.EncodedFrameSizes(tasks, results)
+	table.AddRow(fmt.Sprintf("lease batch ×%d, bytes", batch), len(jsonLease), binLease,
+		fmt.Sprintf("%.1fx smaller", float64(len(jsonLease))/float64(binLease)))
+	table.AddRow(fmt.Sprintf("results batch ×%d, bytes", batch), len(jsonResults), binResults,
+		fmt.Sprintf("%.1fx smaller", float64(len(jsonResults))/float64(binResults)))
+	checks = append(checks,
+		check("binary-lease-frame-smaller", binLease < len(jsonLease),
+			"binary %dB vs json %dB", binLease, len(jsonLease)),
+		check("binary-results-frame-smaller", binResults < len(jsonResults),
+			"binary %dB vs json %dB", binResults, len(jsonResults)))
+
+	// 2. The same workload on a JSON fleet, a binary fleet, and a mixed
+	// fleet; the wire must be invisible to the protocol's guarantees.
+	runFleet := func(name, transport string) (*service.JobStatus, bool, bool) {
+		cs, err := startClusterStackTransport(2, 2, transport, service.Config{Workers: 2, WarmupTasks: 4})
+		if err != nil {
+			panic(err)
+		}
+		defer cs.Close()
+		j, err := cs.Svc.Submit("transport-"+name, service.JobSpec{Placement: service.PlacementCluster})
+		if err != nil {
+			panic(err)
+		}
+		j.Push(sleepSpecs(0, nTasks, sleepUS))
+		j.CloseInput()
+		done := waitJob(j, modernTimeout)
+		res, _ := j.Results(0)
+		st := j.Status()
+		return &st, done, exactlyOnce(res, 0, nTasks)
+	}
+
+	jsonSt, jsonDone, jsonOnce := runFleet("json", cluster.TransportJSON)
+	table.AddRow("json fleet (2 nodes), completed", jsonSt.Completed, "—", yesNo(jsonOnce)+" exactly-once")
+	binSt, binDone, binOnce := runFleet("binary", cluster.TransportBinary)
+	table.AddRow("binary fleet (2 nodes), completed", "—", binSt.Completed, yesNo(binOnce)+" exactly-once")
+
+	// Mixed fleet: a pinned-JSON worker and an auto worker side by side —
+	// the rolling-upgrade scenario negotiation exists for.
+	cs, err := startClusterStackTransport(0, 0, "", service.Config{Workers: 2, WarmupTasks: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer cs.Close()
+	if err := cs.AddWorkerTransport("node-json", 2, cluster.TransportJSON); err != nil {
+		panic(err)
+	}
+	if err := cs.AddWorkerTransport("node-auto", 2, ""); err != nil {
+		panic(err)
+	}
+	autoName := cs.workers[1].TransportName()
+	mixedJob, err := cs.Svc.Submit("transport-mixed", service.JobSpec{Placement: service.PlacementCluster})
+	if err != nil {
+		panic(err)
+	}
+	mixedJob.Push(sleepSpecs(0, nTasks, sleepUS))
+	mixedJob.CloseInput()
+	mixedDone := waitJob(mixedJob, modernTimeout)
+	mixedRes, _ := mixedJob.Results(0)
+	mixedOnce := exactlyOnce(mixedRes, 0, nTasks)
+	mixedSt := mixedJob.Status()
+	table.AddRow("mixed fleet, completed", "1 node", "1 node",
+		fmt.Sprintf("%d tasks, %s exactly-once", mixedSt.Completed, yesNo(mixedOnce)))
+	table.AddNote("same farm workload (%d tasks) per fleet; auto worker negotiated %q", nTasks, autoName)
+
+	checks = append(checks,
+		check("json-fleet-exactly-once", jsonDone && jsonOnce,
+			"done=%v completed=%d", jsonDone, jsonSt.Completed),
+		check("binary-fleet-exactly-once", binDone && binOnce,
+			"done=%v completed=%d", binDone, binSt.Completed),
+		check("mixed-fleet-exactly-once", mixedDone && mixedOnce,
+			"done=%v completed=%d", mixedDone, mixedSt.Completed),
+		check("mixed-fleet-spans-both-transports", spansAllNodes(mixedSt),
+			"per-node tallies %v", mixedSt.Nodes),
+		check("auto-worker-negotiates-binary", autoName == cluster.TransportBinary,
+			"negotiated %q", autoName))
+	return Result{ID: "E27", Title: "Wire transport comparison", Table: table, Checks: checks}
+}
+
+// runnerE27 registers E27 in the experiment index.
+var runnerE27 = Runner{ID: "E27", Title: "Wire transport: JSON vs binary framing, mixed fleets", Placement: PlaceCluster, Run: E27TransportComparison}

@@ -1,6 +1,6 @@
 package experiments
 
-// Shared plumbing for the modern-stack experiments (E20–E26): the ones
+// Shared plumbing for the modern-stack experiments (E20–E27): the ones
 // that execute on the layers built above the simulator — the streaming
 // service, the daemon's HTTP API, and the in-process worker-node cluster.
 // Unlike the vsim experiments these run in real time, so their tables and
@@ -11,7 +11,7 @@ package experiments
 
 import (
 	"fmt"
-	"net/http/httptest"
+	"net"
 	"time"
 
 	"grasp/internal/cluster"
@@ -67,40 +67,53 @@ func exactlyOnce(results []service.TaskResult, base, n int) bool {
 }
 
 // clusterStack is an in-process worker-node cluster: a coordinator served
-// over real HTTP, n worker runtimes registered with it, and a service
+// on the dual-transport listener graspd runs (JSON/HTTP and binary frames
+// on one port), n worker runtimes registered with it, and a service
 // fronting the lot — the smallest complete instance of the distributed
 // subsystem.
 type clusterStack struct {
-	Coord   *cluster.Coordinator
-	Svc     *service.Service
-	srv     *httptest.Server
-	workers []*cluster.Worker
+	Coord     *cluster.Coordinator
+	Svc       *service.Service
+	URL       string
+	transport string
+	srv       *cluster.Server
+	workers   []*cluster.Worker
 }
 
 // startClusterStack builds the coordinator, starts n workers with the
 // given per-node capacity, waits until all are live, and wires a service
-// over them. Callers must Close the stack.
+// over them. Workers negotiate their transport (auto: binary). Callers
+// must Close the stack.
 func startClusterStack(n, capacity int, svcCfg service.Config) (*clusterStack, error) {
+	return startClusterStackTransport(n, capacity, "", svcCfg)
+}
+
+// startClusterStackTransport is startClusterStack with every worker
+// pinned to one wire binding ("" for auto) — the lever E27 uses to put
+// the same workload on each transport and on a mixed fleet.
+func startClusterStackTransport(n, capacity int, transport string, svcCfg service.Config) (*clusterStack, error) {
 	coord := cluster.NewCoordinator(cluster.Config{
 		DeadAfter:    2 * time.Second,
 		MaxLeaseWait: 200 * time.Millisecond,
 	})
-	srv := httptest.NewServer(coord.Handler())
-	cs := &clusterStack{Coord: coord, srv: srv}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	srv := cluster.NewServer(coord)
+	go srv.Serve(ln)
+	cs := &clusterStack{
+		Coord:     coord,
+		URL:       "http://" + ln.Addr().String(),
+		transport: transport,
+		srv:       srv,
+	}
 	for i := 0; i < n; i++ {
-		w, err := cluster.StartWorker(cluster.WorkerConfig{
-			Coordinator: srv.URL,
-			ID:          fmt.Sprintf("node-%c", 'a'+i),
-			Capacity:    capacity,
-			BenchSpin:   10_000,
-			Heartbeat:   50 * time.Millisecond,
-			LeaseWait:   100 * time.Millisecond,
-		})
-		if err != nil {
+		if err := cs.AddWorker(fmt.Sprintf("node-%c", 'a'+i), capacity); err != nil {
 			cs.Close()
 			return nil, err
 		}
-		cs.workers = append(cs.workers, w)
 	}
 	deadline := time.Now().Add(modernTimeout)
 	for len(coord.Live()) < n {
@@ -118,13 +131,20 @@ func startClusterStack(n, capacity int, svcCfg service.Config) (*clusterStack, e
 // AddWorker registers one more worker runtime mid-run — the scale-out
 // lever E25 exercises against a stream already in flight.
 func (cs *clusterStack) AddWorker(id string, capacity int) error {
+	return cs.AddWorkerTransport(id, capacity, cs.transport)
+}
+
+// AddWorkerTransport is AddWorker with an explicit wire binding, so a
+// mixed fleet can be assembled worker by worker.
+func (cs *clusterStack) AddWorkerTransport(id string, capacity int, transport string) error {
 	w, err := cluster.StartWorker(cluster.WorkerConfig{
-		Coordinator: cs.srv.URL,
+		Coordinator: cs.URL,
 		ID:          id,
 		Capacity:    capacity,
 		BenchSpin:   10_000,
 		Heartbeat:   50 * time.Millisecond,
 		LeaseWait:   100 * time.Millisecond,
+		Transport:   transport,
 	})
 	if err != nil {
 		return err
@@ -133,7 +153,7 @@ func (cs *clusterStack) AddWorker(id string, capacity int) error {
 	return nil
 }
 
-// Close stops the workers, the HTTP server, and the coordinator.
+// Close stops the workers, the dual-transport server, and the coordinator.
 func (cs *clusterStack) Close() {
 	for _, w := range cs.workers {
 		w.Stop()
