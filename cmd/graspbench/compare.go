@@ -2,7 +2,7 @@ package main
 
 // The -compare gate joins a fresh bench run against a committed baseline
 // (BENCH_BASELINE.json) and fails on throughput regressions, so perf
-// claims stay enforced instead of rotting in a README. Two checks run:
+// claims stay enforced instead of rotting in a README. Three checks run:
 //
 //  1. Per-row: every row present in both files (joined on the
 //     skeleton/node-count/durable/transport/workload identity) must keep
@@ -13,6 +13,9 @@ package main
 //     cluster row must out-throughput JSON's by at least binarySpeedup.
 //     Both rows come from the same process on the same machine, so the
 //     ratio is stable where absolute tasks/s are not.
+//  3. Same-run instrumentation cost: the observability-instrumented
+//     dispatch row must retain at least (1 - maxInstrumentationCost) of
+//     the plain binary dispatch row's throughput.
 
 import (
 	"encoding/json"
@@ -27,6 +30,13 @@ import (
 // dispatch-bound cluster row — the headline claim the binary codec and
 // the zero-allocation dispatch path exist to back.
 const binarySpeedup = 1.25
+
+// maxInstrumentationCost bounds what the observability layer (bounded
+// trace ring + per-completion histogram) may cost on the dispatch-bound
+// row: the instrumented run must retain at least
+// (1 - maxInstrumentationCost) of the plain binary dispatch row's
+// throughput, measured in the same run.
+const maxInstrumentationCost = 0.05
 
 // rowKey is the join identity of one bench row across runs.
 type rowKey struct {
@@ -112,17 +122,22 @@ func compareBench(current, baseline BenchFile, maxRegression float64) (report, f
 		}
 	}
 
-	// Same-run transport ratio on the dispatch-bound cluster rows.
-	var jsonTPS, binTPS float64
+	// Same-run transport ratio on the dispatch-bound cluster rows, and the
+	// instrumentation-cost ratio against the instrumented variant.
+	var jsonTPS, binTPS, instrTPS float64
 	for _, cur := range current.Results {
-		if cur.Workload != workloadDispatch {
-			continue
-		}
-		switch cur.Transport {
-		case cluster.TransportJSON:
-			jsonTPS = cur.ThroughputTPS
-		case cluster.TransportBinary:
-			binTPS = cur.ThroughputTPS
+		switch cur.Workload {
+		case workloadDispatch:
+			switch cur.Transport {
+			case cluster.TransportJSON:
+				jsonTPS = cur.ThroughputTPS
+			case cluster.TransportBinary:
+				binTPS = cur.ThroughputTPS
+			}
+		case workloadInstr:
+			if cur.Transport == cluster.TransportBinary {
+				instrTPS = cur.ThroughputTPS
+			}
 		}
 	}
 	switch {
@@ -136,6 +151,18 @@ func compareBench(current, baseline BenchFile, maxRegression float64) (report, f
 	default:
 		report = append(report, fmt.Sprintf(
 			"ratio binary/json dispatch = %.2fx (gate >= %.2fx)", binTPS/jsonTPS, binarySpeedup))
+	}
+	switch {
+	case instrTPS <= 0:
+		failures = append(failures, fmt.Sprintf(
+			"instrumented dispatch row missing from the run (instrumented=%.0f tasks/s)", instrTPS))
+	case binTPS > 0 && instrTPS < binTPS*(1-maxInstrumentationCost):
+		failures = append(failures, fmt.Sprintf(
+			"observability instrumentation costs %.1f%% of dispatch throughput (%.0f -> %.0f tasks/s), budget %.0f%%",
+			(1-instrTPS/binTPS)*100, binTPS, instrTPS, maxInstrumentationCost*100))
+	case binTPS > 0:
+		report = append(report, fmt.Sprintf(
+			"ratio instrumented/plain dispatch = %.2fx (gate >= %.2fx)", instrTPS/binTPS, 1-maxInstrumentationCost))
 	}
 	return report, failures
 }

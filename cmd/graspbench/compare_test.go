@@ -7,8 +7,10 @@ import (
 	"grasp/internal/cluster"
 )
 
-// benchRows builds a file with the dispatch-bound transport pair plus one
-// local row, the minimum shape the gate needs to pass.
+// benchRows builds a file with the dispatch-bound transport pair, the
+// instrumented dispatch row (at 98% of the plain binary row, inside the
+// cost budget), plus one local row — the minimum shape the gate needs to
+// pass.
 func benchRows(localTPS, jsonTPS, binTPS float64) BenchFile {
 	return BenchFile{Results: []BenchResult{
 		{Skeleton: "farm", NodeCount: 1, ThroughputTPS: localTPS},
@@ -16,6 +18,8 @@ func benchRows(localTPS, jsonTPS, binTPS float64) BenchFile {
 			Workload: workloadDispatch, ThroughputTPS: jsonTPS},
 		{Skeleton: "farm", NodeCount: 2, Transport: cluster.TransportBinary,
 			Workload: workloadDispatch, ThroughputTPS: binTPS},
+		{Skeleton: "farm", NodeCount: 2, Transport: cluster.TransportBinary,
+			Workload: workloadInstr, ThroughputTPS: binTPS * 0.98},
 	}}
 }
 
@@ -55,7 +59,29 @@ func TestCompareBenchFailsWhenDispatchRowsMissing(t *testing.T) {
 		{Skeleton: "farm", NodeCount: 1, ThroughputTPS: 1000},
 	}}
 	_, failures := compareBench(current, baseline, 0.15)
-	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+	// Both same-run checks report their rows missing.
+	if len(failures) != 2 || !strings.Contains(failures[0], "missing") || !strings.Contains(failures[1], "missing") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareBenchFailsWhenInstrumentationTooCostly(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := benchRows(1000, 2000, 3000)
+	// Instrumented row at 90% of the plain dispatch row: over the 5% budget.
+	current.Results[3].ThroughputTPS = 2700
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "instrumentation") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareBenchFailsWhenInstrumentedRowMissing(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := benchRows(1000, 2000, 3000)
+	current.Results = current.Results[:3] // drop the instrumented row
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "instrumented dispatch row missing") {
 		t.Fatalf("failures = %v", failures)
 	}
 }

@@ -16,12 +16,14 @@ import (
 	"time"
 
 	"grasp/internal/cluster"
+	"grasp/internal/metrics"
 	"grasp/internal/monitor"
 	"grasp/internal/platform"
 	"grasp/internal/rt"
 	"grasp/internal/service"
 	"grasp/internal/skel/adapt"
 	"grasp/internal/skel/engine"
+	"grasp/internal/trace"
 )
 
 // BenchResult is one skeleton's streaming benchmark record. NodeCount is
@@ -140,10 +142,15 @@ func benchSkeleton(name string, tasks []platform.Task) (BenchResult, error) {
 // Cluster bench workloads. "mixed" is the original sleep-bound shape (a
 // fast body and a slow tail forcing a mid-stream breach); "dispatch" is
 // near-zero work, so elapsed time is almost entirely the wire — the row
-// where a transport's overhead is visible instead of drowned in sleeps.
+// where a transport's overhead is visible instead of drowned in sleeps;
+// "instrumented" is the same dispatch-bound shape with the observability
+// layer live on the hot path (bounded per-job trace + a task-latency
+// histogram per completion), so the -compare gate can price the
+// instrumentation against the plain dispatch row from the same run.
 const (
 	workloadMixed    = "mixed"
 	workloadDispatch = "dispatch"
+	workloadInstr    = "instrumented"
 )
 
 // benchClusterFarm streams a workload through the farm skeleton over two
@@ -201,11 +208,14 @@ func benchClusterFarm(seed int64, transport, workload string) (BenchResult, erro
 		d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
 		return cluster.Work{SleepUS: d.Microseconds()}
 	}
-	if workload == workloadDispatch {
+	if workload == workloadDispatch || workload == workloadInstr {
 		// Near-zero work: ~a microsecond of spin per task, so throughput is
 		// the dispatch machinery itself. The detector is parked (huge Z) —
-		// this row measures the wire, not the adaptation loop.
-		nTasks = 800
+		// this row measures the wire, not the adaptation loop. The task
+		// count is large because these rows feed same-run ratio gates
+		// (binary speedup, instrumentation cost) that must not flake on
+		// scheduler noise.
+		nTasks = 3000
 		detectZ = time.Hour
 		taskWork = func(int) cluster.Work { return cluster.Work{Spin: 256} }
 	}
@@ -223,16 +233,25 @@ func benchClusterFarm(seed int64, transport, workload string) (BenchResult, erro
 	if err != nil {
 		return BenchResult{}, err
 	}
+	opts := engine.StreamOptions{
+		Window: window,
+		Detector: &monitor.Detector{
+			Z: detectZ, Rule: monitor.RuleMinOver,
+			Window: 3, MinSamples: 3,
+		},
+	}
+	if workload == workloadInstr {
+		// The full observability load a daemon job carries: every dispatch
+		// and completion appended to a warm bounded ring, every completion
+		// observed into a latency histogram.
+		h := metrics.NewRegistry().Histogram("bench_task_latency_seconds", metrics.DefDurationBuckets)
+		opts.Log = trace.NewBounded(4096)
+		opts.OnResult = func(r platform.Result) { h.ObserveDuration(r.Time) }
+	}
 	var rep engine.StreamReport
 	start := time.Now()
 	l.Go("bench.cluster.root", func(c rt.Ctx) {
-		rep = runner(pool, c, in, engine.StreamOptions{
-			Window: window,
-			Detector: &monitor.Detector{
-				Z: detectZ, Rule: monitor.RuleMinOver,
-				Window: 3, MinSamples: 3,
-			},
-		})
+		rep = runner(pool, c, in, opts)
 	})
 	if err := l.Run(); err != nil {
 		return BenchResult{}, err
@@ -376,6 +395,7 @@ func runSkelBench(path string, seed int64, quiet bool) error {
 		{cluster.TransportBinary, workloadMixed},
 		{cluster.TransportJSON, workloadDispatch},
 		{cluster.TransportBinary, workloadDispatch},
+		{cluster.TransportBinary, workloadInstr},
 	} {
 		res, err := benchClusterFarm(seed, row.transport, row.workload)
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +41,7 @@ import (
 
 	"grasp/internal/cluster"
 	"grasp/internal/loadgen"
+	"grasp/internal/olog"
 	"grasp/internal/service"
 )
 
@@ -68,9 +70,9 @@ func openDaemon(cfg service.Config) (http.Handler, *service.Service, error) {
 // durable image. exit is os.Exit in main; tests substitute a recorder.
 func shutdownOnSignal(sigc <-chan os.Signal, s *service.Service, exit func(int)) {
 	sig := <-sigc
-	log.Printf("graspd: caught %v, flushing journal and shutting down", sig)
+	slog.Info("graspd shutting down; flushing journal", "signal", sig.String())
 	if err := s.Close(); err != nil {
-		log.Printf("graspd: shutdown flush failed: %v", err)
+		slog.Error("graspd shutdown flush failed", "err", err)
 		exit(1)
 		return
 	}
@@ -118,8 +120,17 @@ func main() {
 		waveSize      = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
 		placement     = flag.String("placement", "", "drive: job placement (local, cluster)")
 		shares        = flag.String("shares", "", "drive: comma-separated fair-share weights cycled across jobs (e.g. 1,3)")
+		logFormat     = flag.String("log-format", "text", "log output format (text, json)")
+		logLevel      = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, lerr := olog.NewStderr(*logFormat, *logLevel)
+	if lerr != nil {
+		log.Fatal(lerr)
+	}
+	slog.SetDefault(logger)
 
 	if *drive != "" {
 		shareList, err := parseShares(*shares)
@@ -164,13 +175,14 @@ func main() {
 		DefaultShare:    *defaultShare,
 		DataDir:         *dataDir,
 		MaxJournalBytes: *maxJournal,
+		Logger:          logger.With("component", "service"),
 	}
 	var coord *cluster.Coordinator
 	if *clusterListen != "" {
 		coord = cluster.NewCoordinator(cluster.Config{
 			DeadAfter: *deadAfter,
 			Transport: *transport,
-			Logf:      log.Printf,
+			Logger:    logger.With("component", "cluster"),
 		})
 		cfg.Cluster = coord
 	}
@@ -180,28 +192,32 @@ func main() {
 	// validate a dead process's credentials.
 	h, s, err := openDaemon(cfg)
 	if err != nil {
-		log.Fatalf("graspd: %v", err)
+		logger.Error("graspd open failed", "err", err)
+		os.Exit(1)
 	}
 	if coord != nil {
 		// The cluster port speaks both bindings: the server sniffs each
 		// connection's first byte and routes HTTP (JSON) or binary frames.
 		csrv := cluster.NewServer(coord)
 		go func() {
-			log.Printf("graspd cluster coordinator on %s (dead-after %v, transport %s)",
-				*clusterListen, *deadAfter, *transport)
+			logger.Info("graspd cluster coordinator serving",
+				"addr", *clusterListen, "dead_after", *deadAfter, "transport", *transport)
 			if err := csrv.ListenAndServe(*clusterListen); err != nil {
-				log.Fatal(err)
+				logger.Error("cluster listener failed", "err", err)
+				os.Exit(1)
 			}
 		}()
 	}
+	olog.ServeDebug(*debugAddr, logger, nil)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go shutdownOnSignal(sigc, s, os.Exit)
 	if *dataDir != "" {
-		log.Printf("graspd journaling to %s", *dataDir)
+		logger.Info("graspd journaling", "data_dir", *dataDir)
 	}
-	log.Printf("graspd serving on %s (%d workers)", *addr, s.Workers())
+	logger.Info("graspd serving", "addr", *addr, "workers", s.Workers())
 	if err := http.ListenAndServe(*addr, h); err != nil {
-		log.Fatal(err)
+		logger.Error("graspd listener failed", "err", err)
+		os.Exit(1)
 	}
 }

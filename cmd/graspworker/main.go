@@ -7,19 +7,25 @@
 //
 //	graspworker -coordinator http://head:8090 -capacity 4
 //
+// Lifecycle events log through slog (-log-format json|text, -log-level),
+// and -debug-addr mounts net/http/pprof plus the worker's /metrics
+// (lease round-trip histogram included) on a side listener.
+//
 // SIGINT/SIGTERM leaves the cluster gracefully so in-flight work is
 // reassigned immediately instead of waiting out the heartbeat bound.
 package main
 
 import (
 	"flag"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"grasp/internal/cluster"
+	"grasp/internal/metrics"
+	"grasp/internal/olog"
 )
 
 func main() {
@@ -33,9 +39,18 @@ func main() {
 		leaseWait   = flag.Duration("lease-wait", 2*time.Second, "lease long-poll bound")
 		transport   = flag.String("transport", "auto", "wire binding to offer at registration (auto, json, binary)")
 		flush       = flag.Duration("flush-interval", 0, "linger before posting a result batch (0 = self-clocking, no added latency)")
+		logFormat   = flag.String("log-format", "text", "log output format (text, json)")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (empty = disabled)")
 	)
 	flag.Parse()
 
+	logger, err := olog.NewStderr(*logFormat, *logLevel)
+	if err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(2)
+	}
+	reg := metrics.NewRegistry()
 	w, err := cluster.StartWorker(cluster.WorkerConfig{
 		Coordinator:   *coordinator,
 		ID:            *id,
@@ -46,16 +61,26 @@ func main() {
 		LeaseWait:     *leaseWait,
 		Transport:     *transport,
 		FlushInterval: *flush,
-		Logf:          log.Printf,
+		Logger:        logger,
+		Registry:      reg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("graspworker start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("graspworker %s serving %s (%.0f ops/s, transport %s)", w.ID(), *coordinator, w.SpeedOPS(), w.TransportName())
+	olog.ServeDebug(*debugAddr, logger.With("node", w.ID()), map[string]http.Handler{
+		"/metrics": http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			rw.Write([]byte(reg.RenderProm()))
+		}),
+	})
+	logger.Info("graspworker serving",
+		"node", w.ID(), "coordinator", *coordinator,
+		"speed_ops", w.SpeedOPS(), "transport", w.TransportName())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("graspworker %s leaving", w.ID())
+	logger.Info("graspworker leaving", "node", w.ID())
 	w.Stop()
 }

@@ -133,6 +133,26 @@
 // fault-injection recovery suite (TestRecovery*, FuzzJournalReplay,
 // TestClusterE2EDaemonRecovery) prove the exactly-once contract across
 // SIGKILL. See README.md's Durability section.
+//
+// # Observability layer
+//
+// Every job carries a bounded trace ring (internal/trace): dispatch,
+// completion, calibration, breach, recalibration, adaptation, and phase
+// events are appended as they happen and served live at
+// /api/v1/jobs/{name}/timeline — JSON events from an `after` cursor,
+// closed phase spans, and completion-throughput buckets, or a CSV dump
+// with format=csv; the coordinator keeps its own trace at
+// /api/v1/cluster/timeline. internal/metrics adds fixed-bucket
+// histograms (task latency, journal fsync, lease wait, results batch
+// size) and renders /metrics in Prometheus text exposition format while
+// keeping the legacy `name value` sample lines. Both daemons log through
+// log/slog with per-job/per-node fields (-log-format, -log-level) and
+// mount net/http/pprof on a separate -debug-addr listener. The
+// instrumentation is budgeted, not just present: histogram Observe is
+// zero-allocation and graspbench -compare fails if the instrumented
+// dispatch path costs more than 5% of plain dispatch throughput. E28
+// reconstructs a breach-recalibration from the timeline endpoint alone.
+// See README.md's Observability section.
 package grasp
 
 //go:generate go run ./cmd/graspbench -write-docs

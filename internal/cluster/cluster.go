@@ -46,12 +46,15 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"grasp/internal/metrics"
+	"grasp/internal/trace"
 )
 
 // Sentinel errors.
@@ -107,8 +110,12 @@ type Config struct {
 	// Registry receives the cluster's operational metrics (default: a
 	// fresh registry).
 	Registry *metrics.Registry
-	// Logf, when set, receives membership events.
-	Logf func(format string, args ...any)
+	// Logger receives membership and lifecycle events as structured
+	// records carrying node/gen/transport fields (default: discard).
+	Logger *slog.Logger
+	// TraceCap bounds the coordinator's dispatch trace ring (default
+	// 4096 events; the ring overwrites its oldest events once full).
+	TraceCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 4096
 	}
 	return c
 }
@@ -216,8 +229,20 @@ const (
 // safe for concurrent use; create one with NewCoordinator and Close it to
 // stop the death sweeper.
 type Coordinator struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg   Config
+	reg   *metrics.Registry
+	log   *slog.Logger
+	start time.Time
+	// tr is the coordinator's bounded dispatch trace: every dispatch
+	// queued and every result accepted lands here, stamped relative to
+	// start. A warm ring append allocates nothing, so the trace rides the
+	// zero-allocation dispatch path for free.
+	tr *trace.Log
+
+	// Distribution handles, resolved once like the counters below:
+	// server-side lease wait and results batch depth.
+	hLeaseWait *metrics.Histogram
+	hBatch     *metrics.Histogram
 
 	// Coordinator-wide metric handles, resolved once in NewCoordinator so
 	// the dispatch hot path (submit/Lease/Results) never takes the
@@ -266,11 +291,16 @@ func NewCoordinator(cfg Config) *Coordinator {
 	co := &Coordinator{
 		cfg:      cfg,
 		reg:      cfg.Registry,
+		log:      cfg.Logger,
+		start:    time.Now(),
+		tr:       trace.NewBounded(cfg.TraceCap),
 		nodes:    make(map[string]*node),
 		watchers: make(map[int]func(NodeEvent)),
 		events:   make(chan NodeEvent, 1024),
 		stop:     make(chan struct{}),
 	}
+	co.hLeaseWait = co.reg.Histogram("cluster_lease_wait_seconds", metrics.DefDurationBuckets)
+	co.hBatch = co.reg.Histogram("cluster_results_batch_size", metrics.BatchBuckets)
 	co.mRegisters = co.reg.Counter("cluster_registers_total")
 	co.mHeartbeats = co.reg.Counter("cluster_heartbeats_total")
 	co.mDeaths = co.reg.Counter("cluster_deaths_total")
@@ -356,6 +386,14 @@ func (co *Coordinator) dispatchEvents() {
 // Metrics exposes the coordinator's operational counters and gauges.
 func (co *Coordinator) Metrics() *metrics.Registry { return co.reg }
 
+// Trace exposes the coordinator's bounded dispatch trace: dispatch events
+// as executions are queued to nodes, complete events as results are
+// accepted, timestamped relative to the coordinator's start.
+func (co *Coordinator) Trace() *trace.Log { return co.tr }
+
+// now returns the coordinator-relative timestamp trace events carry.
+func (co *Coordinator) now() time.Duration { return time.Since(co.start) }
+
 // DeadAfter reports the configured silence bound.
 func (co *Coordinator) DeadAfter() time.Duration { return co.cfg.DeadAfter }
 
@@ -372,13 +410,6 @@ func (co *Coordinator) Close() {
 			}
 		}
 	})
-}
-
-// logf reports a membership event when logging is configured.
-func (co *Coordinator) logf(format string, args ...any) {
-	if co.cfg.Logf != nil {
-		co.cfg.Logf(format, args...)
-	}
 }
 
 // Register admits (or re-admits) a worker. A live node under the same id
@@ -419,8 +450,8 @@ func (co *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	co.persistLocked()
 	co.mRegisters.Inc()
 	co.mNodesLive.Set(co.liveCountLocked())
-	co.logf("cluster: node %s registered (gen %d, capacity %d, %.0f ops/s)",
-		n.id, n.gen, n.capacity, n.speed)
+	co.log.Info("cluster node registered",
+		"node", n.id, "gen", n.gen, "capacity", n.capacity, "speed_ops", n.speed)
 	co.emit(NodeEvent{Kind: EventUp, Node: n.infoLocked(now)})
 	return RegisterResponse{
 		Gen:         n.gen,
@@ -552,7 +583,8 @@ func (co *Coordinator) expireLocked(n *node, state, cause string) {
 	co.mTasksFailed.Add(int64(lost))
 	co.mNodesLive.Set(co.liveCountLocked())
 	n.mInflight.Set(0)
-	co.logf("cluster: node %s (gen %d) %s; %d execution(s) reassigned", n.id, n.gen, cause, lost)
+	co.log.Warn("cluster node expired",
+		"node", n.id, "gen", n.gen, "state", state, "cause", cause, "reassigned", lost)
 	co.emit(NodeEvent{Kind: EventDown, Node: n.infoLocked(time.Now())})
 }
 
@@ -634,8 +666,8 @@ func (co *Coordinator) requeueExpiredLeasesLocked(n *node, now time.Time) {
 		return
 	}
 	co.mLeasesExpired.Add(int64(requeued))
-	co.logf("cluster: node %s: %d lease(s) expired after %v; requeued for redelivery",
-		n.id, requeued, co.cfg.LeaseTTL)
+	co.log.Warn("cluster leases expired; requeued for redelivery",
+		"node", n.id, "count", requeued, "ttl", co.cfg.LeaseTTL)
 	select {
 	case n.wake <- struct{}{}:
 	default:
@@ -662,6 +694,7 @@ func (co *Coordinator) submit(id string, gen int64, task int, w Work) (*dispatch
 	n.queue = append(n.queue, d)
 	co.mu.Unlock()
 	co.mDispatched.Inc()
+	co.tr.Append(trace.Event{At: co.now(), Kind: trace.KindDispatch, Node: id, Task: task})
 	select {
 	case n.wake <- struct{}{}:
 	default:
@@ -681,6 +714,7 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 // threads per-connection scratch through here) and the long-poll timer is
 // created lazily, so a lease that finds work queued allocates nothing.
 func (co *Coordinator) LeaseAppend(req LeaseRequest, buf []WireTask) ([]WireTask, error) {
+	begin := time.Now()
 	wait := time.Duration(req.WaitMS) * time.Millisecond
 	if wait <= 0 || wait > co.cfg.MaxLeaseWait {
 		wait = co.cfg.MaxLeaseWait
@@ -734,6 +768,9 @@ func (co *Coordinator) LeaseAppend(req LeaseRequest, buf []WireTask) ([]WireTask
 				default:
 				}
 			}
+			// Observed at the explicit return (not via a deferred closure)
+			// to keep the work-was-queued path allocation-free.
+			co.hLeaseWait.ObserveDuration(time.Since(begin))
 			return buf, nil
 		}
 		if deadline == nil {
@@ -745,6 +782,7 @@ func (co *Coordinator) LeaseAppend(req LeaseRequest, buf []WireTask) ([]WireTask
 		case <-gone:
 			return buf, ErrGone
 		case <-deadlineC:
+			co.hLeaseWait.ObserveDuration(time.Since(begin))
 			return buf, nil
 		case <-co.stop:
 			return buf, ErrGone
@@ -766,8 +804,11 @@ func (co *Coordinator) Results(req ResultsRequest) error {
 	}
 	n.lastSeen = time.Now()
 	// The posts counter next to the completed counter makes batching
-	// observable: completions-per-post is the worker flusher's batch depth.
+	// observable: completions-per-post is the worker flusher's batch
+	// depth; the histogram gives the depth's distribution.
 	co.mResultsPosts.Inc()
+	co.hBatch.Observe(float64(len(req.Results)))
+	at := co.now()
 	var accepted, dropped int64
 	for i := range req.Results {
 		r := &req.Results[i]
@@ -780,6 +821,10 @@ func (co *Coordinator) Results(req ResultsRequest) error {
 		delete(n.inflight, r.Dispatch)
 		accepted++
 		n.completed++
+		co.tr.Append(trace.Event{
+			At: at, Kind: trace.KindComplete, Node: n.id, Task: r.Task,
+			Dur: time.Duration(r.Micros) * time.Microsecond,
+		})
 		d.done <- dispatchOutcome{micros: r.Micros}
 	}
 	// Per-node series are written under co.mu: a prune of this node's

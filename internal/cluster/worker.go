@@ -3,10 +3,15 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
 	"time"
+
+	"grasp/internal/metrics"
+	"grasp/internal/trace"
 )
 
 // WorkerConfig parameterises a worker-node runtime.
@@ -43,8 +48,14 @@ type WorkerConfig struct {
 	// Client is the HTTP client for the JSON binding (default:
 	// DefaultWorkerClient, tuned for persistent connections).
 	Client *http.Client
-	// Logf, when set, receives lifecycle events.
-	Logf func(format string, args ...any)
+	// Logger receives lifecycle events as structured records carrying
+	// node/coordinator/transport fields (default: discard).
+	Logger *slog.Logger
+	// Registry receives the worker's operational metrics — most usefully
+	// the lease round-trip histogram (default: a fresh registry).
+	Registry *metrics.Registry
+	// TraceCap bounds the worker's execution trace ring (default 2048).
+	TraceCap int
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -69,6 +80,15 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.Client == nil {
 		c.Client = DefaultWorkerClient()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 2048
 	}
 	return c
 }
@@ -103,10 +123,20 @@ type genResult struct {
 // Stop leaves gracefully.
 type Worker struct {
 	cfg    WorkerConfig
+	log    *slog.Logger
 	speed  float64
 	offers []string
 	boot   Transport // JSON binding; registration always bootstraps here
 	bin    Transport // binary binding, created on first negotiation
+
+	// Observability: lease round-trip distribution (the worker-side view
+	// of dispatch latency — long-poll waits included) and a bounded trace
+	// of leased and executed tasks, stamped relative to start.
+	start     time.Time
+	hLeaseRTT *metrics.Histogram
+	tr        *trace.Log
+	mExecuted *metrics.Counter
+	mLeases   *metrics.Counter
 
 	mu     sync.Mutex
 	gen    int64
@@ -165,12 +195,18 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	w := &Worker{
 		cfg:     cfg,
+		log:     cfg.Logger,
 		speed:   Benchmark(cfg.BenchSpin),
 		offers:  transportOffer(cfg.Transport),
 		boot:    NewJSONTransport(cfg.Coordinator, cfg.Client),
+		start:   time.Now(),
+		tr:      trace.NewBounded(cfg.TraceCap),
 		results: make(chan genResult, 4*maxResultsFlush),
 		stop:    make(chan struct{}),
 	}
+	w.hLeaseRTT = cfg.Registry.Histogram("worker_lease_rtt_seconds", metrics.DefDurationBuckets)
+	w.mExecuted = cfg.Registry.Counter("worker_tasks_executed_total")
+	w.mLeases = cfg.Registry.Counter("worker_leases_total")
 	var hb time.Duration
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -186,8 +222,9 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Heartbeat <= 0 {
 		w.cfg.Heartbeat = hb
 	}
-	w.logf("cluster: worker %s registered with %s (%.0f ops/s, capacity %d, transport %s)",
-		cfg.ID, cfg.Coordinator, w.speed, cfg.Capacity, w.TransportName())
+	w.log.Info("worker registered",
+		"node", cfg.ID, "coordinator", cfg.Coordinator, "speed_ops", w.speed,
+		"capacity", cfg.Capacity, "transport", w.TransportName())
 	w.flushWG.Add(1)
 	go w.flushLoop()
 	w.wg.Add(1)
@@ -201,6 +238,14 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 
 // ID returns the node id this worker registered under.
 func (w *Worker) ID() string { return w.cfg.ID }
+
+// Metrics exposes the worker's operational metrics, including the lease
+// round-trip histogram.
+func (w *Worker) Metrics() *metrics.Registry { return w.cfg.Registry }
+
+// Trace exposes the worker's bounded execution trace: a dispatch event
+// per task leased, a complete event per task executed.
+func (w *Worker) Trace() *trace.Log { return w.tr }
 
 // SpeedOPS returns the benchmark-derived speed reported at registration.
 func (w *Worker) SpeedOPS() float64 { return w.speed }
@@ -232,12 +277,6 @@ func (w *Worker) Stop() {
 	})
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Logf != nil {
-		w.cfg.Logf(format, args...)
-	}
-}
-
 // session reads the current generation and its negotiated transport
 // together, so a verb never pairs a fresh gen with a stale binding.
 func (w *Worker) session() (int64, Transport) {
@@ -264,7 +303,8 @@ func (w *Worker) register() (time.Duration, error) {
 		if w.bin == nil {
 			bin, berr := NewBinaryTransport(w.cfg.Coordinator)
 			if berr != nil {
-				w.logf("cluster: worker %s: binary transport unavailable (%v); staying on json", w.cfg.ID, berr)
+				w.log.Warn("binary transport unavailable; staying on json",
+					"node", w.cfg.ID, "err", berr)
 			} else {
 				w.bin = bin
 			}
@@ -302,11 +342,11 @@ func (w *Worker) reRegister(staleGen int64) {
 		return // someone else already re-registered
 	}
 	if _, err := w.register(); err != nil {
-		w.logf("cluster: worker %s re-register failed: %v", w.cfg.ID, err)
+		w.log.Warn("re-register failed", "node", w.cfg.ID, "err", err)
 		w.sleepOrStop(500 * time.Millisecond)
 		return
 	}
-	w.logf("cluster: worker %s re-registered", w.cfg.ID)
+	w.log.Info("worker re-registered", "node", w.cfg.ID, "transport", w.TransportName())
 }
 
 // heartbeatLoop keeps the registration alive.
@@ -341,12 +381,17 @@ func (w *Worker) executorLoop() {
 		}
 		gen, tr := w.session()
 		var err error
+		leaseStart := time.Now()
 		scratch, err = tr.Lease(LeaseRequest{
 			ID:     w.cfg.ID,
 			Gen:    gen,
 			Max:    w.cfg.Batch,
 			WaitMS: w.cfg.LeaseWait.Milliseconds(),
 		}, scratch[:0])
+		// The lease RTT includes the coordinator-side long-poll wait: this
+		// histogram is the worker's view of how long fetching work takes,
+		// not just the wire time.
+		w.hLeaseRTT.ObserveDuration(time.Since(leaseStart))
 		if errors.Is(err, ErrGone) {
 			w.reRegister(gen)
 			continue
@@ -358,9 +403,19 @@ func (w *Worker) executorLoop() {
 		if len(scratch) == 0 {
 			continue // long-poll timeout
 		}
+		w.mLeases.Inc()
 		for i := range scratch {
 			t := &scratch[i]
+			w.tr.Append(trace.Event{
+				At: time.Since(w.start), Kind: trace.KindDispatch,
+				Node: w.cfg.ID, Task: t.Task,
+			})
 			d := ExecWork(t.Work)
+			w.mExecuted.Inc()
+			w.tr.Append(trace.Event{
+				At: time.Since(w.start), Kind: trace.KindComplete,
+				Node: w.cfg.ID, Task: t.Task, Dur: d,
+			})
 			select {
 			case w.results <- genResult{gen: gen, res: WireResult{Dispatch: t.Dispatch, Task: t.Task, Micros: d.Microseconds()}}:
 			case <-w.stop:
@@ -431,7 +486,8 @@ func (w *Worker) postResults(gen int64, results []WireResult) {
 		if err == nil || errors.Is(err, ErrGone) {
 			return
 		}
-		w.logf("cluster: worker %s post results: %v", w.cfg.ID, err)
+		w.log.Warn("post results failed; retrying",
+			"node", w.cfg.ID, "batch", len(results), "err", err)
 		backoff := time.Duration(attempt+1) * 100 * time.Millisecond
 		if backoff > time.Second {
 			backoff = time.Second

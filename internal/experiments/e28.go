@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"grasp/internal/report"
+	"grasp/internal/service"
+	"grasp/internal/trace"
+)
+
+// E28TimelineObservability replays E20's breach-recalibration scenario and
+// then reads it back the way an operator would: through the daemon's
+// per-job timeline endpoint. A farm job streams a fast warm-up body
+// followed by a sharp mid-stream slowdown; once it drains, the experiment
+// GETs /api/v1/jobs/{name}/timeline and asserts the adaptation story is
+// reconstructible from the wire alone — the calibrate/warmup/stream phase
+// spans in order and closed, one dispatch and one complete event per
+// task, the detector's threshold breach, and the in-place recalibration
+// it triggered, with the cursor draining to exactly the reported total.
+//
+// Expected shape: the endpoint's event counts match the job's status
+// counters (completions, recalibrations), the phase spans nest inside the
+// stream, nothing was dropped from the bounded ring, and a second poll
+// from the returned cursor is empty.
+func E28TimelineObservability(seed int64) Result {
+	_ = seed // real-time placement: shapes must hold on any healthy machine
+	const (
+		window = 5
+		fastN  = 30
+		slowN  = 30
+		fastUS = 100
+		// As in E20: the slow phase must dwarf Z = factor × warm-up mean
+		// even under CI scheduler overhead, or the breach would flake.
+		slowUS = 30_000
+	)
+	s := service.New(service.Config{
+		Workers:         4,
+		DefaultWindow:   window,
+		WarmupTasks:     4,
+		ThresholdFactor: 3,
+	})
+	srv := httptest.NewServer(service.NewHandler(s))
+	defer srv.Close()
+
+	j, err := s.Submit("observed", service.JobSpec{})
+	if err != nil {
+		panic(err)
+	}
+	j.Push(sleepSpecs(0, fastN, fastUS))
+	j.Push(sleepSpecs(fastN, slowN, slowUS))
+	j.CloseInput()
+	done := waitJob(j, modernTimeout)
+	st := j.Status()
+
+	// One GET reconstructs the whole run.
+	var tl struct {
+		State  string `json:"state"`
+		Events []struct {
+			Seq  int64      `json:"seq"`
+			Kind trace.Kind `json:"kind"`
+			Msg  string     `json:"msg"`
+		} `json:"events"`
+		Next    int64 `json:"next"`
+		Dropped int64 `json:"dropped"`
+		Total   int64 `json:"total"`
+		Phases  []struct {
+			Name    string `json:"name"`
+			StartNS int64  `json:"start_ns"`
+			EndNS   int64  `json:"end_ns"`
+		} `json:"phases"`
+	}
+	getJSON := func(path string, out any) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				panic(err)
+			}
+		}
+		return resp.StatusCode
+	}
+	code := getJSON("/api/v1/jobs/observed/timeline", &tl)
+
+	counts := make(map[trace.Kind]int)
+	// The engine also traces control-driven recalibrations (the warm-up
+	// threshold install arrives as one, tagged breach=false); the status
+	// counter is breach-driven only, so count the breach-driven events
+	// separately for the agreement row.
+	breachRecals := 0
+	for _, e := range tl.Events {
+		counts[e.Kind]++
+		if e.Kind == trace.KindRecalibrate && strings.Contains(e.Msg, "breach=true") {
+			breachRecals++
+		}
+	}
+	phaseEnd := make(map[string]time.Duration)
+	phaseStart := make(map[string]time.Duration)
+	for _, ph := range tl.Phases {
+		phaseStart[ph.Name] = time.Duration(ph.StartNS)
+		phaseEnd[ph.Name] = time.Duration(ph.EndNS)
+	}
+	phasesClosed := true
+	for _, name := range []string{"calibrate", "warmup", "stream"} {
+		if end, ok := phaseEnd[name]; !ok || end < 0 {
+			phasesClosed = false
+		}
+	}
+	ordered := phasesClosed &&
+		phaseEnd["calibrate"] <= phaseStart["stream"] &&
+		phaseStart["stream"] <= phaseStart["warmup"] &&
+		phaseEnd["warmup"] <= phaseEnd["stream"]
+
+	// The cursor the response handed back drains the log.
+	var tail struct {
+		Events []struct {
+			Kind trace.Kind `json:"kind"`
+		} `json:"events"`
+		Next int64 `json:"next"`
+	}
+	tailCode := getJSON(fmt.Sprintf("/api/v1/jobs/observed/timeline?after=%d", tl.Next), &tail)
+
+	table := report.NewTable("E28 — breach-recalibration read back through the timeline endpoint",
+		"observation", "status API", "timeline API", "agree")
+	nTasks := fastN + slowN
+	table.AddRow("completions", st.Completed, counts[trace.KindComplete],
+		yesNo(st.Completed == counts[trace.KindComplete]))
+	table.AddRow("dispatches", st.Submitted, counts[trace.KindDispatch],
+		yesNo(st.Submitted == counts[trace.KindDispatch]))
+	table.AddRow("breach recalibrations", st.Recalibrations, breachRecals,
+		yesNo(st.Recalibrations == breachRecals))
+	table.AddRow("threshold breaches", st.Breaches, counts[trace.KindThreshold],
+		yesNo(st.Breaches == counts[trace.KindThreshold]))
+	table.AddRow("phase spans closed", "—", fmt.Sprintf("%d spans", len(tl.Phases)), yesNo(phasesClosed))
+	table.AddRow("events retained / dropped", "—",
+		fmt.Sprintf("%d / %d", len(tl.Events), tl.Dropped), yesNo(tl.Dropped == 0))
+	table.AddNote("fast body ×%d then %d× slower tail ×%d; one GET of /api/v1/jobs/{name}/timeline after drain",
+		fastN, slowUS/fastUS, slowN)
+
+	checks := []Check{
+		check("job-drains", done && code == http.StatusOK && tl.State == service.JobDone,
+			"done=%v HTTP %d state=%s", done, code, tl.State),
+		check("dispatch-complete-per-task", counts[trace.KindDispatch] == nTasks && counts[trace.KindComplete] == nTasks,
+			"dispatch=%d complete=%d of %d", counts[trace.KindDispatch], counts[trace.KindComplete], nTasks),
+		check("breach-and-recalibration-traced",
+			counts[trace.KindThreshold] >= 1 && counts[trace.KindRecalibrate] >= 1,
+			"threshold=%d recalibrate=%d", counts[trace.KindThreshold], counts[trace.KindRecalibrate]),
+		check("recalibrations-agree-with-status", breachRecals == st.Recalibrations,
+			"timeline breach-driven=%d status=%d", breachRecals, st.Recalibrations),
+		check("phases-closed-and-ordered", ordered,
+			"calibrate=[%v,%v] warmup=[%v,%v] stream=[%v,%v]",
+			phaseStart["calibrate"], phaseEnd["calibrate"],
+			phaseStart["warmup"], phaseEnd["warmup"],
+			phaseStart["stream"], phaseEnd["stream"]),
+		check("nothing-dropped", tl.Dropped == 0 && tl.Total == int64(len(tl.Events)),
+			"dropped=%d total=%d retained=%d", tl.Dropped, tl.Total, len(tl.Events)),
+		check("cursor-drains", tailCode == http.StatusOK && len(tail.Events) == 0 && tail.Next == tl.Next,
+			"HTTP %d, %d events past cursor %d", tailCode, len(tail.Events), tl.Next),
+	}
+	return Result{ID: "E28", Title: "Timeline observability of a breach-recalibration", Table: table, Checks: checks}
+}
+
+// runnerE28 registers E28 in the experiment index.
+var runnerE28 = Runner{ID: "E28", Title: "Breach-recalibration traced through the timeline endpoint", Placement: PlaceLocal, Run: E28TimelineObservability}

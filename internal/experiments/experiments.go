@@ -15,13 +15,15 @@
 //
 // Every experiment declares a Placement — the execution substrate it
 // drives. E1–E19 run on the deterministic virtual-time grid simulator;
-// E20–E27 run the modern stack itself: the streaming service layer, the
+// E20–E28 run the modern stack itself: the streaming service layer, the
 // daemon's HTTP API, an in-process worker-node cluster speaking the real
 // coordinator protocol, the elastic-membership paths (fair-share
 // rebalance between competing jobs, cluster scale-out mid-stream), the
 // durable control plane (crash recovery replaying the write-ahead
-// journal exactly-once), and the cluster wire itself (JSON vs binary
-// framing, negotiated per worker, compared on size and semantics).
+// journal exactly-once), the cluster wire itself (JSON vs binary
+// framing, negotiated per worker, compared on size and semantics), and
+// the observability layer (a breach-recalibration reconstructed from the
+// per-job timeline endpoint alone).
 package experiments
 
 import (
@@ -112,7 +114,7 @@ func All() []Runner {
 		runnerE7, runnerE8, runnerE9, runnerE10, runnerE11, runnerE12,
 		runnerE13, runnerE14, runnerE15, runnerE16, runnerE17, runnerE18,
 		runnerE19, runnerE20, runnerE21, runnerE22, runnerE23, runnerE24,
-		runnerE25, runnerE26, runnerE27,
+		runnerE25, runnerE26, runnerE27, runnerE28,
 	}
 }
 

@@ -76,19 +76,21 @@ func LabelSafe(s string) string {
 	return string(out)
 }
 
-// Registry is a named collection of counters and gauges. The zero value is
-// not usable; call NewRegistry.
+// Registry is a named collection of counters, gauges, and histograms. The
+// zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -112,6 +114,23 @@ func (r *Registry) Delete(name string) {
 	defer r.mu.Unlock()
 	delete(r.counters, name)
 	delete(r.gauges, name)
+	delete(r.histograms, name)
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (nil/empty bounds: DefDurationBuckets).
+// A later call under the same name returns the existing histogram
+// regardless of bounds — handles are meant to be resolved once and kept,
+// exactly like the coordinator's pre-resolved counters.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
 }
 
 // Gauge returns the named gauge, creating it on first use.

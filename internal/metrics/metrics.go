@@ -1,6 +1,10 @@
 // Package metrics computes the performance measures the paper's evaluation
 // shape is stated in: makespan, speedup, efficiency, load imbalance, and
-// fairness across nodes.
+// fairness across nodes. It also provides the operational Registry the
+// daemons export: counters, gauges, and fixed-bucket latency histograms
+// with a zero-allocation Observe path, rendered deterministically in
+// Prometheus text exposition format (RenderProm) alongside the legacy
+// `name value` sample lines.
 package metrics
 
 import (

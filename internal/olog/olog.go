@@ -1,0 +1,81 @@
+// Package olog builds the daemons' structured loggers and debug
+// listeners from their command-line flags. Both graspd and graspworker
+// take the same -log-format/-log-level/-debug-addr triple; this package
+// is the one place that turns those strings into a slog handler and a
+// net/http/pprof mux, so the two binaries cannot drift.
+package olog
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// New builds a logger writing to w. format is "text" or "json"
+// (anything else errors), level is one of debug/info/warn/error
+// (default info).
+func New(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("olog: unknown -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("olog: unknown -log-format %q (text, json)", format)
+	}
+}
+
+// NewStderr is New writing to standard error — what both daemons use.
+func NewStderr(format, level string) (*slog.Logger, error) {
+	return New(os.Stderr, format, level)
+}
+
+// DebugMux returns a mux serving the net/http/pprof endpoints under
+// /debug/pprof/ plus any extra handlers ("/metrics", say). The default
+// pprof registration on http.DefaultServeMux is deliberately not used:
+// the debug listener must be the only place profiling is reachable.
+func DebugMux(extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr when non-empty. Failures
+// to bind are reported to log and otherwise ignored: a profiling
+// listener must never take the daemon down.
+func ServeDebug(addr string, log *slog.Logger, extra map[string]http.Handler) {
+	if addr == "" {
+		return
+	}
+	mux := DebugMux(extra)
+	go func() {
+		log.Info("debug listener serving pprof", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Warn("debug listener failed", "addr", addr, "err", err)
+		}
+	}()
+}

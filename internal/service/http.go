@@ -113,11 +113,15 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "workers": s.Workers()})
 	})
 
+	// Prometheus text exposition. The two registries use disjoint name
+	// prefixes (service_/cluster_), so the concatenation is itself a valid
+	// exposition. Legacy "name value" sample lines are unchanged — the new
+	// format only adds # HELP/# TYPE comments and histogram series.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, s.Metrics().Render())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, s.Metrics().RenderProm())
 		if c := s.Cluster(); c != nil {
-			io.WriteString(w, c.Metrics().Render())
+			io.WriteString(w, c.Metrics().RenderProm())
 		}
 	})
 
@@ -239,6 +243,30 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Status())
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{name}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("name")))
+			return
+		}
+		// Same ordering rationale as the results endpoint: state is read
+		// before the events, so a "done" response cannot be missing the
+		// final completion events.
+		state := j.Status().State
+		serveTimeline(w, r, j.Trace(), j.Name(), state)
+	})
+
+	// The coordinator's own timeline: cluster-side dispatch/complete events
+	// across all jobs, on the coordinator's clock.
+	mux.HandleFunc("GET /api/v1/cluster/timeline", func(w http.ResponseWriter, r *http.Request) {
+		c := s.Cluster()
+		if c == nil {
+			writeError(w, http.StatusNotFound, errors.New("cluster disabled (start graspd with -cluster-listen)"))
+			return
+		}
+		serveTimeline(w, r, c.Trace(), "", "")
 	})
 
 	mux.HandleFunc("GET /api/v1/jobs/{name}/results", func(w http.ResponseWriter, r *http.Request) {

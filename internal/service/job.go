@@ -13,6 +13,7 @@ import (
 	"grasp/internal/rt"
 	"grasp/internal/skel/adapt"
 	"grasp/internal/skel/engine"
+	"grasp/internal/trace"
 )
 
 // Limits on job structure; wire-level work caps live in http.go.
@@ -293,6 +294,11 @@ type Job struct {
 	// zMicros instead).
 	det  *monitor.Detector
 	done chan struct{}
+	// tr is the job's bounded timeline: the engine appends
+	// dispatch/complete/threshold/recalibrate events, the service brackets
+	// the calibrate/warmup/stream phases and records membership adaptations.
+	// Shared clock: every event is stamped with the local runtime's Now.
+	tr *trace.Log
 	// clusterUnsub cancels the coordinator membership subscription feeding
 	// node join/leave into this job (cluster placement only).
 	clusterUnsub func()
@@ -338,6 +344,9 @@ type Job struct {
 
 // Name returns the job's name.
 func (j *Job) Name() string { return j.name }
+
+// Trace returns the job's bounded event timeline.
+func (j *Job) Trace() *trace.Log { return j.tr }
 
 // Done is closed when the job's stream has fully drained.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -554,6 +563,13 @@ func (j *Job) applyDelta(added []engine.Member, removed []int, weights map[int]f
 	workers := int64(len(j.workerSet))
 	j.flushDeltaLocked()
 	j.mu.Unlock()
+	if len(added) > 0 || len(removed) > 0 {
+		j.tr.Append(trace.Event{
+			At: j.svc.l.Now(), Kind: trace.KindAdapt,
+			Msg:   fmt.Sprintf("membership +%d -%d", len(added), len(removed)),
+			Value: float64(workers),
+		})
+	}
 	j.svc.reg.Gauge("service_job_workers_" + metrics.LabelSafe(j.name)).Set(workers)
 }
 
@@ -626,6 +642,7 @@ func (j *Job) onAllocDelta(added, removed []int) {
 // toward the live threshold installation.
 func (j *Job) onResult(res platform.Result) {
 	j.svc.reg.Counter("service_tasks_completed_total").Inc()
+	j.svc.hTaskLatency.ObserveDuration(res.Time)
 	node := ""
 	if j.pool != nil {
 		node = j.pool.NodeName(res.Worker)
@@ -677,6 +694,14 @@ func (j *Job) onResult(res platform.Result) {
 		// from inside OnResult (which runs in the coordinator) cannot block.
 		j.control.TrySend(nil, engine.Update{Z: install, ResetDetector: true})
 		j.svc.reg.Counter("service_thresholds_installed_total").Inc()
+		// The warm-up phase ends at threshold installation: from here on the
+		// detector is armed and breaches can recalibrate the job.
+		j.tr.Append(trace.Event{
+			At: j.svc.l.Now(), Kind: trace.KindPhaseEnd, Msg: "warmup",
+			Dur: install,
+		})
+		j.svc.log.Info("job threshold installed",
+			"job", j.name, "z", install, "warmup_tasks", j.spec.WarmupTasks)
 	}
 }
 
@@ -727,7 +752,12 @@ func (j *Job) finish(rep engine.StreamReport) {
 	}
 	j.mu.Lock()
 	j.lost = lost
+	completed := j.completed
 	j.mu.Unlock()
+	j.tr.Append(trace.Event{At: j.svc.l.Now(), Kind: trace.KindPhaseEnd, Msg: "stream"})
+	j.svc.log.Info("job finished",
+		"job", j.name, "completed", completed, "lost", lost,
+		"failures", rep.Failures, "makespan", rep.Makespan)
 	// Journal completion last: the done record clears the job's pending
 	// set (lost tasks are lost, not redelivered) and marks it a husk for
 	// recovery. A crash before this lands replays the job as an unfinished

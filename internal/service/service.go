@@ -35,6 +35,8 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -49,6 +51,7 @@ import (
 	"grasp/internal/sched"
 	"grasp/internal/skel/adapt"
 	"grasp/internal/skel/engine"
+	"grasp/internal/trace"
 )
 
 // Config parameterises a Service.
@@ -90,6 +93,13 @@ type Config struct {
 	// MaxJournalBytes triggers snapshot compaction once the journal outgrows
 	// it (default 8MB).
 	MaxJournalBytes int64
+	// Logger receives job lifecycle events as structured records carrying
+	// per-job fields (default: discard).
+	Logger *slog.Logger
+	// TraceCap bounds each job's trace ring: the per-job timeline retains
+	// at most this many events, overwriting the oldest and counting the
+	// drops (default 4096).
+	TraceCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultShare <= 0 {
 		c.DefaultShare = 1
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 4096
+	}
 	return c
 }
 
@@ -130,7 +146,13 @@ type Service struct {
 	l     *rt.Local
 	pf    platform.Platform
 	reg   *metrics.Registry
+	log   *slog.Logger
 	alloc *alloc.Allocator
+
+	// hTaskLatency is the task-latency distribution across every job —
+	// resolved once so onResult (the per-completion hot path) never takes
+	// the registry's name-lookup path.
+	hTaskLatency *metrics.Histogram
 
 	// wal is the write-ahead journal when the service is durable (nil
 	// otherwise); closed signals shutdown to background recovery waiters.
@@ -178,11 +200,13 @@ func Open(cfg Config) (*Service, error) {
 		l:       l,
 		pf:      platform.NewLocalPlatform(l, cfg.Workers),
 		reg:     metrics.NewRegistry(),
+		log:     cfg.Logger,
 		alloc:   alloc.New(slots),
 		closed:  make(chan struct{}),
 		jobs:    make(map[string]*Job),
 		pending: make(map[string]bool),
 	}
+	s.hTaskLatency = s.reg.Histogram("service_task_latency_seconds", metrics.DefDurationBuckets)
 	if cfg.DataDir == "" {
 		return s, nil
 	}
@@ -190,6 +214,7 @@ func Open(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.hFsync = s.reg.Histogram("service_journal_fsync_seconds", metrics.DefDurationBuckets)
 	s.wal = w
 	// The coordinator's token ceilings must be restored before it serves
 	// any cluster traffic: a gen or dispatch id minted below the pre-crash
@@ -425,6 +450,7 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 		spec:  spec,
 		state: JobAccepting,
 		done:  make(chan struct{}),
+		tr:    trace.NewBounded(s.cfg.TraceCap),
 	}
 
 	// Reserve the name without publishing the job: a half-constructed Job
@@ -469,6 +495,9 @@ func (s *Service) Submit(name string, spec JobSpec) (*Job, error) {
 	s.reg.Counter("service_jobs_total").Inc()
 	s.reg.Counter("service_jobs_" + spec.skeleton() + "_total").Inc()
 	s.reg.Counter("service_jobs_placement_" + spec.placement() + "_total").Inc()
+	s.log.Info("job submitted",
+		"job", name, "skeleton", spec.skeleton(), "placement", spec.placement(),
+		"window", j.spec.Window, "share", j.spec.share())
 	return j, nil
 }
 
@@ -508,6 +537,10 @@ func (s *Service) startRunner(j *Job, explicitWindow bool) error {
 	// the job's fair share of the locally calibrated platform, or a
 	// growable pool over the cluster's live nodes weighted by their
 	// register-time benchmarks. Everything downstream is placement-agnostic.
+	// The resolution is the job's calibrate phase: the timeline brackets it
+	// and records one calibrate event per worker slot with its initial
+	// dispatch weight.
+	j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindPhaseStart, Msg: "calibrate"})
 	var (
 		pf      platform.Platform = s.pf
 		pool    *cluster.Pool
@@ -555,6 +588,17 @@ func (s *Service) startRunner(j *Job, explicitWindow bool) error {
 		weights = s.ranking.Weights(workers)
 	}
 	j.pf, j.pool = pf, pool
+	for _, w := range workers {
+		node := ""
+		if pool != nil {
+			node = pool.NodeName(w)
+		}
+		j.tr.Append(trace.Event{
+			At: s.l.Now(), Kind: trace.KindCalibrate,
+			Node: node, Task: w, Value: weights[w],
+		})
+	}
+	j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindPhaseEnd, Msg: "calibrate"})
 	j.in = s.l.NewChan("service.in."+name, j.spec.Window)
 	j.det = &monitor.Detector{
 		// Z starts disabled; the warm-up installs it via the control
@@ -574,7 +618,14 @@ func (s *Service) startRunner(j *Job, explicitWindow bool) error {
 	s.reg.Gauge("service_jobs_active").Add(1)
 	s.reg.Gauge("service_job_workers_" + metrics.LabelSafe(name)).Set(int64(len(workers)))
 
+	// The stream phase opens here and closes in finish; the warmup phase
+	// closes when onResult installs the job's threshold. The engine shares
+	// the same trace log (and the same clock — c.Now() is s.l.Now()), so
+	// dispatch/complete/threshold/recalibrate events interleave with these
+	// phase spans on one coherent timeline.
 	window := j.spec.Window
+	j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindPhaseStart, Msg: "stream"})
+	j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindPhaseStart, Msg: "warmup"})
 	s.l.Go("service.job."+name, func(c rt.Ctx) {
 		rep := run(pf, c, j.in, engine.StreamOptions{
 			Workers:       workers,
@@ -584,6 +635,7 @@ func (s *Service) startRunner(j *Job, explicitWindow bool) error {
 			Control:       j.control,
 			OnResult:      j.onResult,
 			OnRecalibrate: j.onRecalibrate,
+			Log:           j.tr,
 		})
 		j.finish(rep)
 		s.reg.Gauge("service_jobs_active").Add(-1)
@@ -605,6 +657,7 @@ func (s *Service) recoverJob(rj recoveredJob) {
 		spec:        rj.spec,
 		state:       JobRecovering,
 		done:        make(chan struct{}),
+		tr:          trace.NewBounded(s.cfg.TraceCap),
 		submitted:   rj.submitted,
 		completed:   rj.resultsBase + len(rj.results),
 		lost:        rj.lost,
@@ -623,6 +676,9 @@ func (s *Service) recoverJob(rj recoveredJob) {
 		return
 	}
 	s.reg.Counter("service_jobs_recovered_total").Inc()
+	s.log.Info("job recovered from journal",
+		"job", rj.name, "skeleton", rj.spec.skeleton(), "placement", rj.spec.placement(),
+		"submitted", rj.submitted, "completed", j.completed)
 	if rj.spec.placement() == PlacementCluster {
 		go s.resumeWhenNodesLive(j)
 		return
@@ -675,6 +731,7 @@ func (s *Service) resume(j *Job) error {
 		j.feed(pending)
 		s.reg.Counter("service_tasks_redelivered_total").Add(int64(len(pending)))
 	}
+	s.log.Info("job resumed", "job", j.name, "redelivered", len(pending), "closed", closed)
 	if closed {
 		j.mu.Lock()
 		j.state = JobDraining
@@ -730,6 +787,7 @@ func (s *Service) Remove(name string) error {
 	delete(s.jobs, name)
 	s.reg.Delete("service_job_workers_" + metrics.LabelSafe(name))
 	s.reg.Counter("service_jobs_removed_total").Inc()
+	s.log.Info("job removed", "job", name)
 	return nil
 }
 

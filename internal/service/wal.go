@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"grasp/internal/cluster"
 	"grasp/internal/journal"
+	"grasp/internal/metrics"
 )
 
 // The service's write-ahead log. Every externally visible mutation —
@@ -145,6 +147,9 @@ type wal struct {
 	maxBytes int64
 	err      error
 	closed   bool
+	// hFsync, when set (Open wires it to the service registry), observes
+	// every commit's fsync time — the floor under durable-path latency.
+	hFsync *metrics.Histogram
 }
 
 // defaultMaxJournalBytes triggers compaction once the journal outgrows it.
@@ -196,7 +201,11 @@ func (w *wal) commit(rec walRecord) error {
 		err = w.store.Append(raw)
 	}
 	if err == nil {
+		syncStart := time.Now()
 		err = w.store.Sync()
+		if w.hFsync != nil {
+			w.hFsync.ObserveDuration(time.Since(syncStart))
+		}
 	}
 	if err != nil {
 		w.err = err

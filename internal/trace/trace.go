@@ -3,6 +3,16 @@
 // experiment harness reduces these logs into the tables and series the
 // paper's methodology figure implies, and the CSV/JSON exporters make runs
 // inspectable offline.
+//
+// Logs come in two flavours. New returns an unbounded log — right for a
+// batch run the harness reduces after the fact. NewBounded returns a
+// fixed-capacity ring that overwrites its oldest events once full,
+// counting what it dropped — right for a long-running job whose log would
+// otherwise grow without bound. Every event carries an absolute sequence
+// number (Total counts them; Dropped says how many fell off the ring), and
+// Since reads incrementally from a cursor with the same clamp semantics as
+// the service's results cursor, which is what the daemon's per-job
+// timeline endpoint pages with.
 package trace
 
 import (
@@ -46,34 +56,131 @@ type Event struct {
 }
 
 // Log is an append-only event log. It is safe for concurrent use so the
-// local (goroutine) runtime can share one.
+// local (goroutine) runtime can share one. The zero value (and New) grows
+// without bound; NewBounded caps retention with ring semantics.
 type Log struct {
 	mu     sync.Mutex
 	events []Event
+	// Ring state, used only when bounded (ring != 0): events is
+	// preallocated to ring slots, start indexes the oldest retained event,
+	// count is how many slots hold live events, and dropped counts events
+	// overwritten after the ring filled. An append into a warm ring
+	// allocates nothing, which is what lets the cluster dispatch hot path
+	// carry a trace.
+	ring    int
+	start   int
+	count   int
+	dropped int64
 }
 
-// New returns an empty log.
+// New returns an empty unbounded log.
 func New() *Log { return &Log{} }
+
+// NewBounded returns a log retaining at most cap events: once full, each
+// append overwrites the oldest retained event and Dropped advances. A
+// non-positive cap falls back to a small default rather than an unbounded
+// log — callers reach for NewBounded exactly because the log must not
+// grow forever.
+func NewBounded(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Log{events: make([]Event, capacity), ring: capacity}
+}
 
 // Append records an event.
 func (l *Log) Append(e Event) {
 	l.mu.Lock()
-	l.events = append(l.events, e)
+	if l.ring == 0 {
+		l.events = append(l.events, e)
+	} else if l.count < l.ring {
+		l.events[(l.start+l.count)%l.ring] = e
+		l.count++
+	} else {
+		l.events[l.start] = e
+		l.start = (l.start + 1) % l.ring
+		l.dropped++
+	}
 	l.mu.Unlock()
 }
 
-// Len returns the number of events recorded.
+// Len returns the number of events currently retained.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return l.lenLocked()
 }
 
-// Events returns a copy of all events in append order.
+func (l *Log) lenLocked() int {
+	if l.ring == 0 {
+		return len(l.events)
+	}
+	return l.count
+}
+
+// Dropped returns how many events a bounded log has overwritten (always 0
+// for an unbounded log).
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Total returns how many events were ever appended: the retained events
+// plus the dropped ones. It is the absolute sequence number the next
+// appended event will take.
+func (l *Log) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped + int64(l.lenLocked())
+}
+
+// Events returns a copy of the retained events in append order.
 func (l *Log) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	return l.copyLocked(0)
+}
+
+// copyLocked copies the retained events from retained offset skip onward.
+func (l *Log) copyLocked(skip int) []Event {
+	n := l.lenLocked()
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= n {
+		return nil
+	}
+	if l.ring == 0 {
+		return append([]Event(nil), l.events[skip:]...)
+	}
+	out := make([]Event, 0, n-skip)
+	for i := skip; i < n; i++ {
+		out = append(out, l.events[(l.start+i)%l.ring])
+	}
+	return out
+}
+
+// Since returns the events with absolute sequence numbers in
+// [after, Total) plus the next cursor value (pass it back to poll
+// incrementally). Cursors predating the ring's retention are clamped
+// forward to the oldest retained event — a slow poller loses overwritten
+// events but never stalls — and cursors past the end (a cursor carried
+// across a daemon restart, say) clamp back to the end, mirroring the
+// results cursor's semantics.
+func (l *Log) Since(after int64) (events []Event, next int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.dropped
+	total := l.dropped + int64(l.lenLocked())
+	if after < oldest {
+		after = oldest
+	}
+	if after > total {
+		after = total
+	}
+	events = l.copyLocked(int(after - oldest))
+	return events, after + int64(len(events))
 }
 
 // Filter returns the events of the given kind, in order.
@@ -132,6 +239,21 @@ func (l *Log) WriteCSV(w io.Writer) error {
 func (l *Log) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(l.Events())
+}
+
+// Last returns the newest retained event, if any — the cheap way to learn
+// a live log's time horizon without copying it.
+func (l *Log) Last() (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.lenLocked()
+	if n == 0 {
+		return Event{}, false
+	}
+	if l.ring == 0 {
+		return l.events[n-1], true
+	}
+	return l.events[(l.start+n-1)%l.ring], true
 }
 
 // Bucket is one interval of a throughput timeline.
