@@ -22,6 +22,12 @@
 //
 //	graspd -drive http://localhost:8080 -jobs 6 -tasks 500 -skeletons farm,pipeline,dmap
 //
+// Replay an adversarial arrival profile against a predictive daemon
+// (shed pushes are retried after the advertised Retry-After; the same
+// -seed replays the same byte stream under any profile):
+//
+//	graspd -drive http://localhost:8080 -adapt predictive -profile flash-crowd -seed 7
+//
 // See the README for the full JSON API, the cluster quickstart, and a curl
 // walkthrough.
 package main
@@ -107,6 +113,11 @@ func main() {
 		clusterListen = flag.String("cluster-listen", "", "serve the worker-node protocol on this address (empty = cluster disabled)")
 		deadAfter     = flag.Duration("dead-after", 3*time.Second, "cluster: declare a silent worker node dead after this long")
 		transport     = flag.String("transport", "auto", "cluster: transport preference for register-time negotiation (auto, json, binary)")
+		adaptPolicy   = flag.String("adapt", "", "default adaptation policy for jobs that omit `adapt` (reactive, predictive)")
+		predictMargin = flag.Float64("predict-margin", 0, "predictive: demote a worker pre-breach when its forecast exceeds margin × fleet mean (0 = 1.5)")
+		shedFactor    = flag.Float64("shed-factor", 0, "predictive: shed pushes with 429 once the queue-depth forecast exceeds factor × window (0 = 2, negative = never shed)")
+		shedRetry     = flag.Duration("shed-retry-after", 0, "predictive: Retry-After hint on shed responses (0 = 1s)")
+		forecastEvery = flag.Duration("forecast-every", 0, "predictive: queue-depth forecast sampling interval (0 = 20ms)")
 		dataDir       = flag.String("data-dir", "", "durability: journal job state under this directory and recover it on restart (empty = in-memory only)")
 		maxJournal    = flag.Int64("max-journal-bytes", 0, "durability: compact the journal into a snapshot past this size (0 = 8 MiB)")
 		drive         = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
@@ -119,6 +130,7 @@ func main() {
 		stages        = flag.Int("stages", 3, "drive: stage count for pipeline jobs")
 		waveSize      = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
 		placement     = flag.String("placement", "", "drive: job placement (local, cluster)")
+		profile       = flag.String("profile", "", "drive: arrival profile (steady, flash-crowd, sustained-overload)")
 		shares        = flag.String("shares", "", "drive: comma-separated fair-share weights cycled across jobs (e.g. 1,3)")
 		logFormat     = flag.String("log-format", "text", "log output format (text, json)")
 		logLevel      = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
@@ -137,6 +149,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *profile == "steady" {
+			*profile = loadgen.ProfileSteady
+		}
 		summary := loadgen.Driver{
 			BaseURL:        *drive,
 			Jobs:           *jobs,
@@ -150,9 +165,11 @@ func main() {
 			WaveSize:       *waveSize,
 			Placement:      *placement,
 			Shares:         shareList,
+			Adapt:          *adaptPolicy,
+			Profile:        *profile,
 		}.Run()
-		fmt.Printf("drove %d jobs, %d/%d tasks completed in %v\n",
-			len(summary.Jobs), summary.Completed, summary.Tasks, summary.Elapsed.Round(time.Millisecond))
+		fmt.Printf("drove %d jobs, %d/%d tasks completed in %v (%d pushes shed)\n",
+			len(summary.Jobs), summary.Completed, summary.Tasks, summary.Elapsed.Round(time.Millisecond), summary.Shed)
 		for _, j := range summary.Jobs {
 			fmt.Printf("  %-12s %-8s %5d/%5d tasks  breaches=%d recals=%d max_in_flight=%d dup=%d\n",
 				j.Name, j.Skeleton, j.Completed, j.Submitted, j.Breaches, j.Recalibrations, j.MaxInFlight, j.Duplicates)
@@ -173,6 +190,11 @@ func main() {
 		ThresholdFactor: *factor,
 		MaxResults:      *maxResults,
 		DefaultShare:    *defaultShare,
+		DefaultAdapt:    *adaptPolicy,
+		PredictMargin:   *predictMargin,
+		ShedFactor:      *shedFactor,
+		ShedRetryAfter:  *shedRetry,
+		ForecastEvery:   *forecastEvery,
 		DataDir:         *dataDir,
 		MaxJournalBytes: *maxJournal,
 		Logger:          logger.With("component", "service"),

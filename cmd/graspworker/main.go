@@ -39,6 +39,8 @@ func main() {
 		leaseWait   = flag.Duration("lease-wait", 2*time.Second, "lease long-poll bound")
 		transport   = flag.String("transport", "auto", "wire binding to offer at registration (auto, json, binary)")
 		flush       = flag.Duration("flush-interval", 0, "linger before posting a result batch (0 = self-clocking, no added latency)")
+		degradeAt   = flag.Duration("degrade-after", 0, "script a slow-node failure: stretch every execution after this long (0 = healthy forever)")
+		degradeBy   = flag.Float64("degrade-factor", 0, "post-degradation execution-time multiplier (0 = 3 when -degrade-after is set)")
 		logFormat   = flag.String("log-format", "text", "log output format (text, json)")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (empty = disabled)")
@@ -61,6 +63,8 @@ func main() {
 		LeaseWait:     *leaseWait,
 		Transport:     *transport,
 		FlushInterval: *flush,
+		DegradeAfter:  *degradeAt,
+		DegradeFactor: *degradeBy,
 		Logger:        logger,
 		Registry:      reg,
 	})

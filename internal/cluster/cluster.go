@@ -276,6 +276,11 @@ type Coordinator struct {
 	events      chan NodeEvent
 	eventsLost  atomic.Bool
 
+	// wanted is per-job advisory demand for extra worker nodes (see
+	// SetWanted); the sum is published as the cluster_nodes_wanted gauge.
+	wantedMu sync.Mutex
+	wanted   map[string]int
+
 	// binaryServed is set by NewServer: the binary binding exists only on
 	// the dual-transport listener, so negotiation must never pick it when
 	// the coordinator is mounted as a bare HTTP handler.
@@ -297,6 +302,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		nodes:    make(map[string]*node),
 		watchers: make(map[int]func(NodeEvent)),
 		events:   make(chan NodeEvent, 1024),
+		wanted:   make(map[string]int),
 		stop:     make(chan struct{}),
 	}
 	co.hLeaseWait = co.reg.Histogram("cluster_lease_wait_seconds", metrics.DefDurationBuckets)
@@ -315,6 +321,39 @@ func NewCoordinator(cfg Config) *Coordinator {
 	go co.sweep()
 	go co.dispatchEvents()
 	return co
+}
+
+// SetWanted records a job's advisory demand for extra worker nodes — the
+// predictive service layer's scale-out request. The coordinator cannot
+// spawn graspworker processes itself, so the aggregate demand is a
+// signal: published as the cluster_nodes_wanted gauge and on
+// /api/v1/nodes for an external autoscaler (or an operator) to act on.
+// n <= 0 clears the job's demand; demand is also advisory-only state and
+// never outlives the process.
+func (co *Coordinator) SetWanted(job string, n int) {
+	co.wantedMu.Lock()
+	if n <= 0 {
+		delete(co.wanted, job)
+	} else {
+		co.wanted[job] = n
+	}
+	total := 0
+	for _, v := range co.wanted {
+		total += v
+	}
+	co.wantedMu.Unlock()
+	co.reg.Gauge("cluster_nodes_wanted").Set(int64(total))
+}
+
+// NodesWanted sums the jobs' advisory demand for extra worker nodes.
+func (co *Coordinator) NodesWanted() int {
+	co.wantedMu.Lock()
+	defer co.wantedMu.Unlock()
+	total := 0
+	for _, v := range co.wanted {
+		total += v
+	}
+	return total
 }
 
 // Subscribe registers a membership watcher and returns its cancel

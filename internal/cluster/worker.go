@@ -54,6 +54,17 @@ type WorkerConfig struct {
 	// Registry receives the worker's operational metrics — most usefully
 	// the lease round-trip histogram (default: a fresh registry).
 	Registry *metrics.Registry
+	// DegradeAfter, when positive, scripts a slow-node failure: from that
+	// long after startup, every task this node executes is stretched to
+	// DegradeFactor × its natural duration (the difference is slept, so
+	// the coordinator sees genuinely slower round trips). The node still
+	// answers heartbeats — exactly the gradual degradation the adaptive
+	// layer must catch from completion times alone.
+	DegradeAfter time.Duration
+	// DegradeFactor is the post-degradation execution-time multiplier
+	// (default 3 when DegradeAfter is set; values ≤ 1 disable the
+	// slowdown).
+	DegradeFactor float64
 	// TraceCap bounds the worker's execution trace ring (default 2048).
 	TraceCap int
 }
@@ -89,6 +100,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.TraceCap <= 0 {
 		c.TraceCap = 2048
+	}
+	if c.DegradeAfter > 0 && c.DegradeFactor <= 1 {
+		c.DegradeFactor = 3
 	}
 	return c
 }
@@ -411,6 +425,12 @@ func (w *Worker) executorLoop() {
 				Node: w.cfg.ID, Task: t.Task,
 			})
 			d := ExecWork(t.Work)
+			if extra := w.degradePenalty(d); extra > 0 {
+				if !w.sleepOrStop(extra) {
+					return
+				}
+				d += extra
+			}
 			w.mExecuted.Inc()
 			w.tr.Append(trace.Event{
 				At: time.Since(w.start), Kind: trace.KindComplete,
@@ -499,6 +519,19 @@ func (w *Worker) postResults(gen int64, results []WireResult) {
 }
 
 // sleepOrStop pauses for d, reporting false when the worker is stopping.
+// degradePenalty returns the extra time a task of natural duration d must
+// take once the scripted DegradeAfter instant has passed (0 before it, or
+// when no degradation is configured).
+func (w *Worker) degradePenalty(d time.Duration) time.Duration {
+	if w.cfg.DegradeAfter <= 0 || w.cfg.DegradeFactor <= 1 {
+		return 0
+	}
+	if time.Since(w.start) < w.cfg.DegradeAfter {
+		return 0
+	}
+	return time.Duration(float64(d) * (w.cfg.DegradeFactor - 1))
+}
+
 func (w *Worker) sleepOrStop(d time.Duration) bool {
 	select {
 	case <-w.stop:

@@ -14,16 +14,25 @@
 // amortises.
 //
 // Every experiment declares a Placement — the execution substrate it
-// drives. E1–E19 run on the deterministic virtual-time grid simulator;
-// E20–E28 run the modern stack itself: the streaming service layer, the
-// daemon's HTTP API, an in-process worker-node cluster speaking the real
-// coordinator protocol, the elastic-membership paths (fair-share
-// rebalance between competing jobs, cluster scale-out mid-stream), the
-// durable control plane (crash recovery replaying the write-ahead
-// journal exactly-once), the cluster wire itself (JSON vs binary
-// framing, negotiated per worker, compared on size and semantics), and
-// the observability layer (a breach-recalibration reconstructed from the
-// per-job timeline endpoint alone).
+// drives. E1–E19 and E29 run on the deterministic virtual-time grid
+// simulator; E20–E28 and E30–E31 run the modern stack itself: the
+// streaming service layer, the daemon's HTTP API, an in-process
+// worker-node cluster speaking the real coordinator protocol, the
+// elastic-membership paths (fair-share rebalance between competing jobs,
+// cluster scale-out mid-stream), the durable control plane (crash
+// recovery replaying the write-ahead journal exactly-once), the cluster
+// wire itself (JSON vs binary framing, negotiated per worker, compared
+// on size and semantics), and the observability layer (a
+// breach-recalibration reconstructed from the per-job timeline endpoint
+// alone).
+//
+// E29–E31 are the predictive-adaptation exhibits: reactive vs predictive
+// policies on an identical seeded slow-node degradation (the forecaster
+// must recalibrate before the threshold trips, and suffer strictly fewer
+// breaches), a flash crowd whose queue-depth forecast autoscales the
+// job's fair share, and a sustained overload the daemon sheds with HTTP
+// 429 + Retry-After while still delivering every admitted task exactly
+// once.
 package experiments
 
 import (
@@ -114,7 +123,8 @@ func All() []Runner {
 		runnerE7, runnerE8, runnerE9, runnerE10, runnerE11, runnerE12,
 		runnerE13, runnerE14, runnerE15, runnerE16, runnerE17, runnerE18,
 		runnerE19, runnerE20, runnerE21, runnerE22, runnerE23, runnerE24,
-		runnerE25, runnerE26, runnerE27, runnerE28,
+		runnerE25, runnerE26, runnerE27, runnerE28, runnerE29, runnerE30,
+		runnerE31,
 	}
 }
 

@@ -59,8 +59,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Error("E99 should not exist")
 	}
-	if len(All()) != 28 {
-		t.Errorf("expected 28 experiments, have %d", len(All()))
+	if len(All()) != 31 {
+		t.Errorf("expected 31 experiments, have %d", len(All()))
 	}
 }
 

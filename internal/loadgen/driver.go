@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -61,7 +62,31 @@ type Driver struct {
 	// e.g. {1, 3} to drive competing-priority traffic and watch the
 	// allocator hold the worker split at the declared ratio.
 	Shares []float64
+	// Adapt sets each job's adaptation policy ("reactive" or "predictive";
+	// empty: the server default).
+	Adapt string
+	// Profile shapes the arrival pattern of each job's task stream (see the
+	// Profile* constants; empty: steady Batch-sized pushes back to back).
+	// Task payloads are drawn from Seed in task-ID order regardless of the
+	// profile's batching, so the same Seed replays the same byte stream
+	// under every profile.
+	Profile string
 }
+
+// Arrival profiles for Driver.Profile.
+const (
+	// ProfileSteady pushes Batch-sized POSTs back to back — the default.
+	ProfileSteady = ""
+	// ProfileFlashCrowd trickles the first fifth of the stream in
+	// Batch-sized POSTs paced PollEvery apart, then bursts the rest in
+	// 4×Batch POSTs with no pauses: a calm service hit by a sudden crowd.
+	ProfileFlashCrowd = "flash-crowd"
+	// ProfileSustainedOverload pushes the whole stream in 2×Batch POSTs
+	// paced PollEvery/4 apart — a steady arrival rate held above service
+	// capacity for the whole run, the shape that should trip admission
+	// control.
+	ProfileSustainedOverload = "sustained-overload"
+)
 
 func (d Driver) withDefaults() Driver {
 	if d.Client == nil {
@@ -107,6 +132,14 @@ type JobOutcome struct {
 	Breaches       int
 	Recalibrations int
 	MaxInFlight    int
+	// Shed counts task batches the daemon rejected with 429; each was
+	// retried after the advertised Retry-After until admitted, so shed
+	// batches still end up in Submitted exactly once.
+	Shed int
+	// RetryAfter is the largest Retry-After the daemon advertised on a
+	// shed response (zero when the job was never shed, or the header was
+	// absent).
+	RetryAfter time.Duration
 }
 
 // DriveSummary is the outcome of a whole load run.
@@ -114,8 +147,10 @@ type DriveSummary struct {
 	Jobs      []JobOutcome
 	Tasks     int
 	Completed int
-	Elapsed   time.Duration
-	Errors    []string
+	// Shed totals the 429-rejected batches across all jobs.
+	Shed    int
+	Elapsed time.Duration
+	Errors  []string
 }
 
 // OK reports whether every submitted task completed exactly once with no
@@ -168,6 +203,7 @@ func (d Driver) Run() DriveSummary {
 	for _, o := range outcomes {
 		summary.Tasks += o.Submitted
 		summary.Completed += o.Completed
+		summary.Shed += o.Shed
 	}
 	summary.Elapsed = time.Since(start)
 	return summary
@@ -189,6 +225,9 @@ func (d Driver) driveJob(name, skeleton string, salt int64, deadline time.Time, 
 		if share := d.Shares[int(salt)%len(d.Shares)]; share > 0 {
 			create["share"] = share
 		}
+	}
+	if d.Adapt != "" {
+		create["adapt"] = d.Adapt
 	}
 	switch skeleton {
 	case "", "farm":
@@ -224,21 +263,23 @@ func (d Driver) driveJob(name, skeleton string, salt int64, deadline time.Time, 
 		ID      int   `json:"id"`
 		SleepUS int64 `json:"sleep_us"`
 	}
-	for base := 0; base < d.TasksPerJob; base += d.Batch {
-		n := d.Batch
-		if base+n > d.TasksPerJob {
-			n = d.TasksPerJob - base
+	// Draw every task's payload up front, in ID order, so the byte stream
+	// for a given Seed is identical no matter how the profile batches it.
+	specs := make([]taskSpec, d.TasksPerJob)
+	for i := range specs {
+		jitter := 0.5 + rng.Float64()
+		specs[i] = taskSpec{ID: i, SleepUS: int64(float64(d.SleepUS) * jitter)}
+	}
+	for _, step := range d.planPushes() {
+		if step.pause > 0 {
+			time.Sleep(step.pause)
 		}
-		batch := make([]taskSpec, n)
-		for i := range batch {
-			jitter := 0.5 + rng.Float64()
-			batch[i] = taskSpec{ID: base + i, SleepUS: int64(float64(d.SleepUS) * jitter)}
-		}
-		if err := d.post("/api/v1/jobs/"+name+"/tasks", map[string]any{"tasks": batch}, nil); err != nil {
+		batch := specs[step.from:step.to]
+		if err := d.pushBatch(name, map[string]any{"tasks": batch}, deadline, &out); err != nil {
 			fail("push %s: %v", name, err)
 			return out
 		}
-		out.Submitted += n
+		out.Submitted += len(batch)
 	}
 	if err := d.post("/api/v1/jobs/"+name+"/close", nil, nil); err != nil {
 		fail("close %s: %v", name, err)
@@ -291,6 +332,81 @@ func (d Driver) driveJob(name, skeleton string, salt int64, deadline time.Time, 
 	out.Recalibrations = status.Recalibrations
 	out.MaxInFlight = status.MaxInFlight
 	return out
+}
+
+// pushStep is one planned task POST: tasks [from, to), optionally preceded
+// by a pacing pause.
+type pushStep struct {
+	from, to int
+	pause    time.Duration
+}
+
+// planPushes slices the task stream into POSTs according to Profile. The
+// plan is a pure function of the driver's configuration, so a run with the
+// same Seed replays the same requests.
+func (d Driver) planPushes() []pushStep {
+	chunk := func(from, to, size int, pause time.Duration) []pushStep {
+		var steps []pushStep
+		for base := from; base < to; base += size {
+			end := base + size
+			if end > to {
+				end = to
+			}
+			p := pause
+			if base == from {
+				p = 0
+			}
+			steps = append(steps, pushStep{from: base, to: end, pause: p})
+		}
+		return steps
+	}
+	switch d.Profile {
+	case ProfileFlashCrowd:
+		// Trickle the first fifth paced PollEvery apart, then burst the
+		// rest in 4×Batch POSTs back to back.
+		trickle := d.TasksPerJob / 5
+		if trickle < d.Batch {
+			trickle = min(d.Batch, d.TasksPerJob)
+		}
+		steps := chunk(0, trickle, d.Batch, d.PollEvery)
+		return append(steps, chunk(trickle, d.TasksPerJob, 4*d.Batch, 0)...)
+	case ProfileSustainedOverload:
+		return chunk(0, d.TasksPerJob, 2*d.Batch, d.PollEvery/4)
+	default:
+		return chunk(0, d.TasksPerJob, d.Batch, 0)
+	}
+}
+
+// pushBatch POSTs one task batch, retrying each time the daemon sheds it
+// with 429 (after the advertised Retry-After) until the batch is admitted
+// or the deadline passes.
+func (d Driver) pushBatch(name string, body any, deadline time.Time, out *JobOutcome) error {
+	for {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+		resp, err := d.Client.Post(d.BaseURL+"/api/v1/jobs/"+name+"/tasks", "application/json", &buf)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return decodeReply(resp, nil)
+		}
+		retry := d.PollEvery
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+			if retry > out.RetryAfter {
+				out.RetryAfter = retry
+			}
+		}
+		resp.Body.Close()
+		out.Shed++
+		if time.Now().Add(retry).After(deadline) {
+			return fmt.Errorf("shed %d times, Retry-After %v would pass the deadline", out.Shed, retry)
+		}
+		time.Sleep(retry)
+	}
 }
 
 // post sends body as JSON and optionally decodes the reply.

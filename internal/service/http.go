@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -133,7 +134,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusNotFound, errors.New("cluster disabled (start graspd with -cluster-listen)"))
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"nodes": c.Nodes()})
+		writeJSON(w, http.StatusOK, map[string]any{"nodes": c.Nodes(), "wanted": c.NodesWanted()})
 	})
 
 	mux.HandleFunc("DELETE /api/v1/nodes/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -223,9 +224,20 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		// Push blocks under backpressure: the bounded in-flight window
-		// propagates all the way to the HTTP client.
+		// propagates all the way to the HTTP client. Admission control
+		// pre-empts that block: an overloaded predictive job sheds the whole
+		// batch with 429 + Retry-After instead of stalling the request.
 		n, err := j.Push(specs)
 		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				secs := int(math.Ceil(s.RetryAfter().Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
 			writeError(w, http.StatusConflict, err)
 			return
 		}

@@ -30,6 +30,20 @@ const (
 	PlacementCluster = "cluster"
 )
 
+// Adaptation policies a job may declare.
+const (
+	// AdaptReactive is the paper's policy: recalibrate only after the
+	// detector's threshold trips. The default.
+	AdaptReactive = "reactive"
+	// AdaptPredictive layers forecast-driven adaptation on top: the engine
+	// reweights pre-breach when a worker's completion-time trend crosses
+	// the margin, and the service forecasts the job's queue depth — boosting
+	// its fair share (or requesting cluster nodes) under pressure and
+	// shedding pushes with ErrOverloaded once the forecast exceeds the
+	// admission bound.
+	AdaptPredictive = "predictive"
+)
+
 // JobSpec are the per-job knobs a submitter may set.
 type JobSpec struct {
 	// Skeleton selects the dispatch topology: "farm" (default), "pipeline",
@@ -71,6 +85,11 @@ type JobSpec struct {
 	// Alpha is a dmap job's EWMA re-weighting factor in (0, 1] (dmap
 	// only; default 0.5).
 	Alpha float64 `json:"alpha,omitempty"`
+	// Adapt selects the adaptation policy: "reactive" (the default — the
+	// paper's breach-driven recalibration only) or "predictive" (forecast
+	// worker trends and the queue depth, reweight pre-breach, autoscale the
+	// share, and shed overload with 429s). Omitted: the daemon's default.
+	Adapt string `json:"adapt,omitempty"`
 }
 
 // StageSpec describes one stage of a pipeline job: each submitted task
@@ -103,6 +122,9 @@ func (js JobSpec) withDefaults(cfg Config) JobSpec {
 	if js.MaxResults > 1_000_000 {
 		js.MaxResults = 1_000_000
 	}
+	if js.Adapt == "" {
+		js.Adapt = cfg.DefaultAdapt
+	}
 	return js
 }
 
@@ -132,6 +154,11 @@ func (js JobSpec) Validate() error {
 	case "", PlacementLocal, PlacementCluster:
 	default:
 		return fmt.Errorf("unknown placement %q (have local, cluster)", js.Placement)
+	}
+	switch js.Adapt {
+	case "", AdaptReactive, AdaptPredictive:
+	default:
+		return fmt.Errorf("unknown adapt policy %q (have reactive, predictive)", js.Adapt)
 	}
 	switch js.Skeleton {
 	case adapt.Pipeline:
@@ -179,6 +206,17 @@ func (js JobSpec) placement() string {
 	}
 	return js.Placement
 }
+
+// adapt names the job's adaptation policy for statuses and metrics.
+func (js JobSpec) adapt() string {
+	if js.Adapt == "" {
+		return AdaptReactive
+	}
+	return js.Adapt
+}
+
+// predictive reports whether the job runs the forecast-driven policy.
+func (js JobSpec) predictive() bool { return js.adapt() == AdaptPredictive }
 
 // share returns the resolved fair-share weight (after withDefaults).
 func (js JobSpec) share() float64 {
@@ -267,6 +305,31 @@ type JobStatus struct {
 	Failures         int   `json:"failures"`
 	MaxInFlight      int   `json:"max_in_flight"`
 	MakespanMicros   int64 `json:"makespan_micros"`
+	// Adapt names the job's adaptation policy ("reactive" or "predictive").
+	Adapt string `json:"adapt,omitempty"`
+	// DetectorRatio is the detector's current stat/Z — how close the job is
+	// to a reactive breach (0 until the threshold is installed and a round
+	// has observations; >1 means breached).
+	DetectorRatio float64 `json:"detector_ratio,omitempty"`
+	// PredictiveRecals counts forecast-driven (pre-breach) recalibrations.
+	PredictiveRecals int `json:"predictive_recals,omitempty"`
+	// ForecastMicros maps worker index → the engine's current forecast of
+	// that worker's next normalised completion time (predictive jobs only,
+	// once each worker's forecaster is warm).
+	ForecastMicros map[int]int64 `json:"forecast_micros,omitempty"`
+	// QueueForecast is the service's forecast of the job's queue depth
+	// (submitted − completed, one sampling step ahead; predictive only).
+	QueueForecast float64 `json:"queue_forecast,omitempty"`
+	// Shedding reports whether admission control is currently rejecting
+	// pushes with 429 (predictive jobs whose queue-depth forecast exceeded
+	// the bound).
+	Shedding bool `json:"shedding,omitempty"`
+	// Shed counts task batches rejected by admission control.
+	Shed int `json:"shed,omitempty"`
+	// EffectiveShare is the job's live fair-share weight after the
+	// predictive autoscaler's adjustment (equal to Share when the policy is
+	// off or the queue is calm).
+	EffectiveShare float64 `json:"effective_share,omitempty"`
 	// Lost counts accepted tasks that will never execute because the job's
 	// run ended without them (every cluster node died mid-stream). Zero for
 	// any job whose substrate survived.
@@ -322,6 +385,18 @@ type Job struct {
 	resultsBase    int // results dropped by the retention bound
 	rep            engine.StreamReport
 
+	// Predictive-policy observability and admission state (zero-valued for
+	// reactive jobs): the engine's per-worker forecasts and trigger count
+	// arrive through onForecast, the detector ratio is sampled in onResult,
+	// and the service's forecast loop drives queueForecast/shedding/effShare.
+	detRatio         float64
+	forecasts        map[int]int64
+	predictiveRecals int
+	queueForecast    float64
+	shedding         bool
+	shed             int
+	effShare         float64
+
 	// Membership: workerSet is the desired membership — the allocator's
 	// (or the cluster subscription's) view of this job's workers — and
 	// engineSet is the membership as of the last successfully flushed
@@ -369,6 +444,16 @@ func (j *Job) Push(specs []TaskSpec) (int, error) {
 			state = JobDraining // closed while recovering: draining to the caller
 		}
 		return 0, fmt.Errorf("service: job %q is %s, not accepting tasks", j.name, state)
+	}
+	// Admission control: while the queue-depth forecast is over the bound
+	// the whole batch is rejected before it touches the journal or the
+	// input channel — the caller gets 429 + Retry-After instead of a Push
+	// blocked on backpressure, and accepted-task accounting stays exact.
+	if j.shedding {
+		j.shed++
+		j.mu.Unlock()
+		j.svc.reg.Counter("service_tasks_shed_total").Add(int64(len(specs)))
+		return 0, fmt.Errorf("service: job %q queue-depth forecast over the admission bound: %w", j.name, ErrOverloaded)
 	}
 	j.mu.Unlock()
 	// Journal the batch before a single task becomes observable: when a
@@ -688,6 +773,14 @@ func (j *Job) onResult(res platform.Result) {
 	}
 	// Retry any membership delta an earlier full control buffer deferred.
 	j.flushDeltaLocked()
+	if j.spec.predictive() && j.zInstalled {
+		// The detector belongs to the coordinator and onResult runs inside
+		// it, so reading the ratio here is the one safe place to surface
+		// "how close to a breach" without racing Observe.
+		if r := j.det.Ratio(); r == r { // filter NaN (no round yet)
+			j.detRatio = r
+		}
+	}
 	j.mu.Unlock()
 	if install > 0 {
 		// The coordinator polls the control channel between events; TrySend
@@ -702,6 +795,25 @@ func (j *Job) onResult(res platform.Result) {
 		})
 		j.svc.log.Info("job threshold installed",
 			"job", j.name, "z", install, "warmup_tasks", j.spec.WarmupTasks)
+	}
+}
+
+// onForecast records the engine's per-worker completion-time forecasts
+// (predictive policy only). It runs in the skeleton's coordinator, once
+// per completion after a worker's forecaster warms; triggered marks the
+// observation that fired a pre-breach reweight.
+func (j *Job) onForecast(worker int, forecast time.Duration, triggered bool) {
+	j.mu.Lock()
+	if j.forecasts == nil {
+		j.forecasts = make(map[int]int64)
+	}
+	j.forecasts[worker] = forecast.Microseconds()
+	if triggered {
+		j.predictiveRecals++
+	}
+	j.mu.Unlock()
+	if triggered {
+		j.svc.reg.Counter("service_predictive_recals_total").Inc()
 	}
 }
 
@@ -791,6 +903,19 @@ func (j *Job) Status() JobStatus {
 		ZMicros:          j.zMicros,
 		Breaches:         j.breaches,
 		Recalibrations:   j.recalibrations,
+		Adapt:            j.spec.adapt(),
+		DetectorRatio:    j.detRatio,
+		PredictiveRecals: j.predictiveRecals,
+		QueueForecast:    j.queueForecast,
+		Shedding:         j.shedding,
+		Shed:             j.shed,
+		EffectiveShare:   j.effShare,
+	}
+	if len(j.forecasts) > 0 {
+		st.ForecastMicros = make(map[int]int64, len(j.forecasts))
+		for w, f := range j.forecasts {
+			st.ForecastMicros[w] = f
+		}
 	}
 	if j.state == JobDone {
 		st.Failures = j.rep.Failures

@@ -1,0 +1,147 @@
+package service
+
+// The service half of the predictive policy. The engine (predict.go in
+// internal/skel/engine) forecasts per-worker completion times; this file
+// forecasts each predictive job's queue depth (submitted − completed)
+// through the same monitor.Probe + stats.TrendWindow machinery and drives
+// three actuators from it:
+//
+//   - share autoscale: a local job whose forecast outgrows its window has
+//     its fair share boosted through alloc.SetShare (capped, with
+//     hysteresis), pulling worker slots from calmer jobs — and released
+//     back when the queue drains;
+//   - node demand: a cluster job instead records advisory demand for
+//     extra worker nodes with the coordinator (SetWanted), surfaced on
+//     /api/v1/nodes and the cluster_nodes_wanted gauge for an external
+//     autoscaler to act on;
+//   - admission control: once the forecast exceeds ShedFactor × window,
+//     the job sheds pushes with ErrOverloaded (HTTP 429 + Retry-After)
+//     instead of letting backpressure stall the daemon, resuming at half
+//     the bound so admission does not flap.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"grasp/internal/monitor"
+	"grasp/internal/stats"
+	"grasp/internal/trace"
+)
+
+const (
+	// forecastWindow is how many queue-depth samples the trend line is
+	// fitted over.
+	forecastWindow = 8
+	// maxShareBoost caps the autoscaler's share multiplier so one hot job
+	// cannot starve the rest of the partition.
+	maxShareBoost = 4
+	// maxNodesWanted caps one job's advisory node demand.
+	maxNodesWanted = 8
+)
+
+// forecastLoop samples a predictive job's queue depth until the job (or
+// the service) is done, adjusting share/node demand and the admission
+// state from the forecast. One goroutine per predictive job, started by
+// startRunner.
+func (s *Service) forecastLoop(j *Job) {
+	depth := func() float64 {
+		j.mu.Lock()
+		d := j.submitted - j.completed
+		j.mu.Unlock()
+		return float64(d)
+	}
+	probe := monitor.NewProbe("queue:"+j.name, monitor.FuncSensor(depth),
+		stats.NewTrendWindow(forecastWindow), forecastWindow)
+	window := float64(j.spec.Window)
+	shedBound := s.cfg.ShedFactor * window
+	baseShare := j.spec.share()
+	ticker := time.NewTicker(s.cfg.ForecastEvery)
+	defer ticker.Stop()
+	if j.pool != nil && s.cfg.Cluster != nil {
+		defer s.cfg.Cluster.SetWanted(j.name, 0)
+	}
+	for {
+		select {
+		case <-j.done:
+			return
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+		probe.Sample()
+		f := probe.Forecast()
+		if math.IsNaN(f) {
+			continue
+		}
+		if f < 0 {
+			f = 0
+		}
+
+		// Admission control with hysteresis: shed above the bound, resume
+		// below half of it.
+		j.mu.Lock()
+		j.queueForecast = f
+		was := j.shedding
+		if shedBound > 0 {
+			if !was && f > shedBound {
+				j.shedding = true
+			} else if was && f < shedBound/2 {
+				j.shedding = false
+			}
+		}
+		shedding := j.shedding
+		j.mu.Unlock()
+		if shedding != was {
+			msg := "admission control: shedding (forecast over bound)"
+			if !shedding {
+				msg = "admission control: accepting (queue drained)"
+				s.reg.Counter("service_shed_recoveries_total").Inc()
+			} else {
+				s.reg.Counter("service_shed_activations_total").Inc()
+			}
+			j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindForecast, Value: f, Msg: msg})
+			s.log.Info("admission control state change",
+				"job", j.name, "shedding", shedding, "queue_forecast", f, "bound", shedBound)
+		}
+
+		// Share autoscale (local placement): boost toward forecast/window,
+		// capped; release back to the spec share when the queue calms. The
+		// 10% deadband keeps the allocator from rebalancing on noise.
+		boost := 1.0
+		if window > 0 && f > window {
+			boost = math.Min(f/window, maxShareBoost)
+		}
+		target := baseShare * boost
+		j.mu.Lock()
+		cur := j.effShare
+		j.mu.Unlock()
+		if target != cur && (boost == 1 || math.Abs(target-cur) > 0.1*cur) {
+			if j.pool == nil {
+				s.alloc.SetShare(j.name, target)
+			}
+			j.mu.Lock()
+			j.effShare = target
+			j.mu.Unlock()
+			j.tr.Append(trace.Event{
+				At: s.l.Now(), Kind: trace.KindForecast, Value: f,
+				Msg: fmt.Sprintf("share autoscaled to %.2f", target),
+			})
+			s.log.Info("share autoscaled",
+				"job", j.name, "share", target, "queue_forecast", f)
+		}
+
+		// Node demand (cluster placement): advisory scale-out request,
+		// cleared when the queue forecast fits the window again.
+		if j.pool != nil && s.cfg.Cluster != nil {
+			extra := 0
+			if window > 0 && f > window {
+				extra = int(math.Ceil(f/window)) - 1
+				if extra > maxNodesWanted {
+					extra = maxNodesWanted
+				}
+			}
+			s.cfg.Cluster.SetWanted(j.name, extra)
+		}
+	}
+}

@@ -100,6 +100,26 @@ type Config struct {
 	// at most this many events, overwriting the oldest and counting the
 	// drops (default 4096).
 	TraceCap int
+	// DefaultAdapt selects the adaptation policy for jobs whose spec omits
+	// `adapt`: "reactive" (the default — the paper's breach-driven policy)
+	// or "predictive".
+	DefaultAdapt string
+	// PredictMargin is the predictive policy's engine trigger: a worker is
+	// demoted pre-breach when its forecast completion time exceeds margin ×
+	// the rest of the fleet's mean (default 1.5).
+	PredictMargin float64
+	// ShedFactor arms admission control for predictive jobs: pushes are
+	// shed with ErrOverloaded (HTTP 429 + Retry-After) once the job's
+	// queue-depth forecast exceeds ShedFactor × its window, and resume at
+	// half that (hysteresis). Zero defaults to 2; negative disables
+	// shedding.
+	ShedFactor float64
+	// ShedRetryAfter is the Retry-After hint returned with a 429 (default
+	// 1s).
+	ShedRetryAfter time.Duration
+	// ForecastEvery is the predictive queue-depth sampling interval
+	// (default 20ms).
+	ForecastEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +155,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceCap <= 0 {
 		c.TraceCap = 4096
+	}
+	if c.DefaultAdapt == "" {
+		c.DefaultAdapt = AdaptReactive
+	}
+	if c.PredictMargin <= 1 {
+		c.PredictMargin = 1.5
+	}
+	if c.ShedFactor == 0 {
+		c.ShedFactor = 2
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
+	if c.ForecastEvery <= 0 {
+		c.ForecastEvery = 20 * time.Millisecond
 	}
 	return c
 }
@@ -300,7 +335,16 @@ var (
 	// ErrNoCluster reports a cluster placement the service cannot satisfy:
 	// no coordinator configured, or no live worker nodes.
 	ErrNoCluster = errors.New("cluster placement unavailable")
+	// ErrOverloaded reports a push shed by admission control: the job's
+	// queue-depth forecast is over the bound, so accepting the batch would
+	// stall the caller on backpressure. The HTTP layer maps it to 429 with
+	// a Retry-After hint; retry after the queue drains.
+	ErrOverloaded = errors.New("job overloaded")
 )
+
+// RetryAfter is the hint returned alongside ErrOverloaded — how long a
+// shed caller should wait before retrying.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.ShedRetryAfter }
 
 // Cluster returns the coordinator serving `placement: cluster` jobs (nil
 // when the daemon runs without one).
@@ -624,19 +668,28 @@ func (s *Service) startRunner(j *Job, explicitWindow bool) error {
 	// dispatch/complete/threshold/recalibrate events interleave with these
 	// phase spans on one coherent timeline.
 	window := j.spec.Window
+	opts := engine.StreamOptions{
+		Workers:       workers,
+		Window:        window,
+		Weights:       weights,
+		Detector:      j.det,
+		Control:       j.control,
+		OnResult:      j.onResult,
+		OnRecalibrate: j.onRecalibrate,
+		Log:           j.tr,
+	}
+	if j.spec.predictive() {
+		opts.Predict = &engine.Predict{Margin: s.cfg.PredictMargin}
+		opts.OnForecast = j.onForecast
+		j.mu.Lock()
+		j.effShare = j.spec.share()
+		j.mu.Unlock()
+		go s.forecastLoop(j)
+	}
 	j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindPhaseStart, Msg: "stream"})
 	j.tr.Append(trace.Event{At: s.l.Now(), Kind: trace.KindPhaseStart, Msg: "warmup"})
 	s.l.Go("service.job."+name, func(c rt.Ctx) {
-		rep := run(pf, c, j.in, engine.StreamOptions{
-			Workers:       workers,
-			Window:        window,
-			Weights:       weights,
-			Detector:      j.det,
-			Control:       j.control,
-			OnResult:      j.onResult,
-			OnRecalibrate: j.onRecalibrate,
-			Log:           j.tr,
-		})
+		rep := run(pf, c, j.in, opts)
 		j.finish(rep)
 		s.reg.Gauge("service_jobs_active").Add(-1)
 	})

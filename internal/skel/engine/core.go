@@ -53,6 +53,7 @@ type Core struct {
 
 	faults   Faults
 	recent   map[int]*stats.Window
+	pred     *predictor // nil unless the predictive policy is enabled
 	start    time.Duration
 	lastDone time.Duration
 }
@@ -66,6 +67,10 @@ func NewCore(pf platform.Platform, workers []int, mode Mode, start time.Duration
 	member := make(map[int]bool, len(workers))
 	for _, w := range workers {
 		member[w] = true
+	}
+	var pred *predictor
+	if opts.Predict != nil {
+		pred = newPredictor(opts, len(workers), recalWindow)
 	}
 	return &Core{
 		Rep: StreamReport{
@@ -83,6 +88,7 @@ func NewCore(pf platform.Platform, workers []int, mode Mode, start time.Duration
 		log:           opts.Log,
 		onResult:      opts.OnResult,
 		onRecalibrate: opts.OnRecalibrate,
+		pred:          pred,
 		start:         start,
 		recent:        make(map[int]*stats.Window, len(workers)),
 	}
@@ -299,7 +305,11 @@ func (co *Core) Observe(c rt.Ctx, res platform.Result) bool {
 			Node: co.pf.WorkerName(res.Worker), Task: res.Task.ID, Dur: res.Time,
 		})
 	}
-	return co.observeDetector(c, norm)
+	breached := co.observeDetector(c, norm)
+	if co.pred != nil {
+		co.observeForecast(c, res.Worker, norm, breached)
+	}
+	return breached
 }
 
 // Complete is Record plus Observe: the whole bookkeeping for skeletons
@@ -372,6 +382,14 @@ func (co *Core) observeDetector(c rt.Ctx, norm time.Duration) bool {
 // and logged. Deltas apply before Weights so one Update can admit workers
 // and install a weight map covering them atomically.
 func (co *Core) ApplyUpdate(c rt.Ctx, u Update, breach bool) {
+	co.applyUpdate(c, u, breach, false)
+}
+
+// applyUpdate is ApplyUpdate plus the predictive tag: forecast-driven
+// updates count into PredictiveRecals and their recalibrate event carries
+// predictive=true, so traces distinguish pre-breach reweights from the
+// reactive ones without changing the breach=... vocabulary readers parse.
+func (co *Core) applyUpdate(c rt.Ctx, u Update, breach, predictive bool) {
 	var added []Member
 	var removed []int
 	for _, m := range u.Add {
@@ -396,11 +414,15 @@ func (co *Core) ApplyUpdate(c rt.Ctx, u Update, breach bool) {
 		}
 	}
 	co.Rep.Recalibrations++
+	if predictive {
+		co.Rep.PredictiveRecals++
+	}
 	if co.log != nil {
-		co.log.Append(trace.Event{
-			At: c.Now(), Kind: trace.KindRecalibrate,
-			Msg: fmt.Sprintf("recalibration %d (breach=%v)", co.Rep.Recalibrations, breach),
-		})
+		msg := fmt.Sprintf("recalibration %d (breach=%v)", co.Rep.Recalibrations, breach)
+		if predictive {
+			msg += " predictive=true"
+		}
+		co.log.Append(trace.Event{At: c.Now(), Kind: trace.KindRecalibrate, Msg: msg})
 	}
 	if (len(added) > 0 || len(removed) > 0) && co.onMembership != nil {
 		co.onMembership(added, removed)

@@ -79,6 +79,17 @@ type StreamOptions struct {
 	// ok=true applies the update; ok=false falls back to the adapter's
 	// structural default (or the built-in inverse-recent-mean reweight).
 	OnRecalibrate func(Breach) (Update, bool)
+	// Predict, when non-nil, enables the predictive adaptation policy: the
+	// Core feeds each worker's normalised completion times through a
+	// monitor.Probe backed by a stats.TrendWindow forecaster and reweights
+	// the membership pre-breach when a worker's forecast trend crosses the
+	// margin. Nil keeps adaptation purely reactive (the paper's policy).
+	Predict *Predict
+	// OnForecast, when set alongside Predict, receives each worker's
+	// refreshed completion-time forecast once its forecaster is warm.
+	// triggered is true for the observation that fired a predictive
+	// recalibration. Invoked from the coordinator process.
+	OnForecast func(worker int, forecast time.Duration, triggered bool)
 	// Control, if non-nil, is polled for externally injected Update values
 	// (live re-calibration without draining). Non-Update values are
 	// ignored.
@@ -167,8 +178,11 @@ type StreamReport struct {
 	// never above the window when backpressure is working.
 	MaxInFlight int
 	// Recalibrations counts live re-calibrations (breaches plus applied
-	// control updates).
+	// control updates plus predictive reweights).
 	Recalibrations int
+	// PredictiveRecals counts the forecast-driven (pre-breach) subset of
+	// Recalibrations — zero unless the predictive policy was enabled.
+	PredictiveRecals int
 	// Breaches counts detector breaches.
 	Breaches int
 	// WorkersAdded counts workers admitted into the membership mid-run.

@@ -1,6 +1,8 @@
 package engine_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -258,5 +260,83 @@ func TestControlUpdateAppliesEverySkeleton(t *testing.T) {
 				t.Errorf("results = %d, want %d", len(rep.Results), n)
 			}
 		})
+	}
+}
+
+// degradedTasks builds n tasks whose sleeps follow a seeded-random
+// degradation schedule: a jittered base, then — from a seeded onset — a
+// ramp that grows with every task, the gradual slow-node failure mode the
+// predictive policy watches for. The same seed always yields the same
+// schedule.
+func degradedTasks(seed int64, n int) []platform.Task {
+	rng := rand.New(rand.NewSource(seed))
+	sleeps := make([]time.Duration, n)
+	onset := n/4 + rng.Intn(n/4)
+	for i := range sleeps {
+		d := time.Duration(50+rng.Intn(100)) * time.Microsecond
+		if i >= onset {
+			d += time.Duration(i-onset) * time.Duration(20+rng.Intn(50)) * time.Microsecond
+		}
+		sleeps[i] = d
+	}
+	tasks := make([]platform.Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = platform.Task{ID: i, Cost: 1, Fn: func() any {
+			time.Sleep(sleeps[i])
+			return i
+		}}
+	}
+	return tasks
+}
+
+// TestPredictiveStreamMatchesBatchEverySkeleton is the contract property
+// under the predictive policy: with a detector armed AND the forecaster
+// free to reweight and re-derive Z pre-breach, a stream fed a
+// seeded-random degradation schedule still completes exactly the ID set
+// its batch form does — exactly once, nothing remaining — for every
+// skeleton and every seed. Whatever the predictive machinery does to the
+// membership mid-flight, it must never touch delivery semantics.
+func TestPredictiveStreamMatchesBatchEverySkeleton(t *testing.T) {
+	const n, workers, window = 48, 3, 6
+	for _, seed := range []int64{1, 7, 42} {
+		for _, ad := range adapters() {
+			ad, seed := ad, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", ad.name, seed), func(t *testing.T) {
+				rep := runStream(t, ad.runner, workers, degradedTasks(seed, n),
+					engine.StreamOptions{
+						Window: window,
+						Detector: &monitor.Detector{
+							Z: 2 * time.Millisecond, Rule: monitor.RuleMinOver,
+							Window: 3, MinSamples: 3,
+						},
+						Predict: &engine.Predict{Margin: 1.2, Window: 4, Cooldown: 2},
+					})
+
+				if rep.Admitted != n {
+					t.Errorf("admitted = %d, want %d", rep.Admitted, n)
+				}
+				seen := make(map[int]bool, n)
+				for _, r := range rep.Results {
+					if seen[r.Task.ID] {
+						t.Errorf("task %d completed twice", r.Task.ID)
+					}
+					seen[r.Task.ID] = true
+				}
+				if len(rep.Remaining) != 0 {
+					t.Errorf("remaining = %d on a clean drain", len(rep.Remaining))
+				}
+
+				batch := ad.batch(t, workers, fnTasks(n, 50*time.Microsecond))
+				if len(batch) != len(seen) {
+					t.Fatalf("stream completed %d distinct tasks, batch %d", len(seen), len(batch))
+				}
+				for id := range batch {
+					if !seen[id] {
+						t.Errorf("batch completed task %d, stream did not", id)
+					}
+				}
+			})
+		}
 	}
 }

@@ -39,6 +39,7 @@ const (
 	KindRecalibrate Kind = "recalibrate" // Msg = reason
 	KindAdapt       Kind = "adapt"       // Msg = action taken
 	KindThreshold   Kind = "threshold"   // Value = observed/threshold ratio
+	KindForecast    Kind = "forecast"    // Node, Dur (forecast time), Value (forecast/reference ratio)
 	KindNote        Kind = "note"        // Msg = freeform
 )
 
