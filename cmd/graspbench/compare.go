@@ -16,6 +16,13 @@ package main
 //  3. Same-run instrumentation cost: the observability-instrumented
 //     dispatch row must retain at least (1 - maxInstrumentationCost) of
 //     the plain binary dispatch row's throughput.
+//  4. Same-run group-commit ratio: on the 16-pusher durable-ingest rows,
+//     the group-commit wal must out-throughput the serial
+//     fsync-per-record discipline by at least groupCommitSpeedup.
+//
+// Checks 2 and 3 need the cluster rows, so they apply only to full runs;
+// a durable-only run (BenchFile.Scope == scopeDurable) is held to checks
+// 1 and 4.
 
 import (
 	"encoding/json"
@@ -37,6 +44,13 @@ const binarySpeedup = 1.25
 // (1 - maxInstrumentationCost) of the plain binary dispatch row's
 // throughput, measured in the same run.
 const maxInstrumentationCost = 0.05
+
+// groupCommitSpeedup is the minimum group/serial durable-ingest
+// throughput ratio on the 16-pusher row — the claim the group-commit wal
+// exists to back: with concurrent committers, coalescing fsyncs must beat
+// the serial one-fsync-per-record discipline at least this much in the
+// same run.
+const groupCommitSpeedup = 2.0
 
 // rowKey is the join identity of one bench row across runs.
 type rowKey struct {
@@ -123,7 +137,9 @@ func compareBench(current, baseline BenchFile, maxRegression float64) (report, f
 	}
 
 	// Same-run transport ratio on the dispatch-bound cluster rows, and the
-	// instrumentation-cost ratio against the instrumented variant.
+	// instrumentation-cost ratio against the instrumented variant. A
+	// durable-only run (scope recorded in the file) has no cluster rows, so
+	// those gates are not applicable to it.
 	var jsonTPS, binTPS, instrTPS float64
 	for _, cur := range current.Results {
 		switch cur.Workload {
@@ -140,29 +156,60 @@ func compareBench(current, baseline BenchFile, maxRegression float64) (report, f
 			}
 		}
 	}
-	switch {
-	case jsonTPS <= 0 || binTPS <= 0:
-		failures = append(failures, fmt.Sprintf(
-			"dispatch-bound transport rows missing from the run (json=%.0f binary=%.0f tasks/s)", jsonTPS, binTPS))
-	case binTPS < jsonTPS*binarySpeedup:
-		failures = append(failures, fmt.Sprintf(
-			"binary transport dispatch throughput %.0f tasks/s is only %.2fx JSON's %.0f, want >= %.2fx",
-			binTPS, binTPS/jsonTPS, jsonTPS, binarySpeedup))
-	default:
-		report = append(report, fmt.Sprintf(
-			"ratio binary/json dispatch = %.2fx (gate >= %.2fx)", binTPS/jsonTPS, binarySpeedup))
+	if current.Scope != scopeDurable {
+		switch {
+		case jsonTPS <= 0 || binTPS <= 0:
+			failures = append(failures, fmt.Sprintf(
+				"dispatch-bound transport rows missing from the run (json=%.0f binary=%.0f tasks/s)", jsonTPS, binTPS))
+		case binTPS < jsonTPS*binarySpeedup:
+			failures = append(failures, fmt.Sprintf(
+				"binary transport dispatch throughput %.0f tasks/s is only %.2fx JSON's %.0f, want >= %.2fx",
+				binTPS, binTPS/jsonTPS, jsonTPS, binarySpeedup))
+		default:
+			report = append(report, fmt.Sprintf(
+				"ratio binary/json dispatch = %.2fx (gate >= %.2fx)", binTPS/jsonTPS, binarySpeedup))
+		}
+		switch {
+		case instrTPS <= 0:
+			failures = append(failures, fmt.Sprintf(
+				"instrumented dispatch row missing from the run (instrumented=%.0f tasks/s)", instrTPS))
+		case binTPS > 0 && instrTPS < binTPS*(1-maxInstrumentationCost):
+			failures = append(failures, fmt.Sprintf(
+				"observability instrumentation costs %.1f%% of dispatch throughput (%.0f -> %.0f tasks/s), budget %.0f%%",
+				(1-instrTPS/binTPS)*100, binTPS, instrTPS, maxInstrumentationCost*100))
+		case binTPS > 0:
+			report = append(report, fmt.Sprintf(
+				"ratio instrumented/plain dispatch = %.2fx (gate >= %.2fx)", instrTPS/binTPS, 1-maxInstrumentationCost))
+		}
+	}
+
+	// Same-run group-commit ratio on the contended durable-ingest rows.
+	// Both scopes produce these rows, so the gate always applies: the
+	// group-commit wal must beat the serial fsync-per-record discipline by
+	// groupCommitSpeedup under 16 concurrent pushers.
+	var groupTPS, serialTPS float64
+	for _, cur := range current.Results {
+		if !cur.Durable {
+			continue
+		}
+		switch cur.Workload {
+		case ingestWorkload(true, 16):
+			groupTPS = cur.ThroughputTPS
+		case ingestWorkload(false, 16):
+			serialTPS = cur.ThroughputTPS
+		}
 	}
 	switch {
-	case instrTPS <= 0:
+	case groupTPS <= 0 || serialTPS <= 0:
 		failures = append(failures, fmt.Sprintf(
-			"instrumented dispatch row missing from the run (instrumented=%.0f tasks/s)", instrTPS))
-	case binTPS > 0 && instrTPS < binTPS*(1-maxInstrumentationCost):
+			"durable-ingest rows missing from the run (group=%.0f serial=%.0f tasks/s)", groupTPS, serialTPS))
+	case groupTPS < serialTPS*groupCommitSpeedup:
 		failures = append(failures, fmt.Sprintf(
-			"observability instrumentation costs %.1f%% of dispatch throughput (%.0f -> %.0f tasks/s), budget %.0f%%",
-			(1-instrTPS/binTPS)*100, binTPS, instrTPS, maxInstrumentationCost*100))
-	case binTPS > 0:
+			"group-commit ingest throughput %.0f tasks/s is only %.2fx the serial fsync row's %.0f, want >= %.2fx",
+			groupTPS, groupTPS/serialTPS, serialTPS, groupCommitSpeedup))
+	default:
 		report = append(report, fmt.Sprintf(
-			"ratio instrumented/plain dispatch = %.2fx (gate >= %.2fx)", instrTPS/binTPS, 1-maxInstrumentationCost))
+			"ratio group/serial durable ingest (16 pushers) = %.2fx (gate >= %.2fx)", groupTPS/serialTPS, groupCommitSpeedup))
 	}
 	return report, failures
 }

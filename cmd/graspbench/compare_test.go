@@ -9,8 +9,9 @@ import (
 
 // benchRows builds a file with the dispatch-bound transport pair, the
 // instrumented dispatch row (at 98% of the plain binary row, inside the
-// cost budget), plus one local row — the minimum shape the gate needs to
-// pass.
+// cost budget), one local row, and the contended durable-ingest pair
+// (group at 3x serial, inside the speedup gate) — the minimum shape the
+// gate needs to pass.
 func benchRows(localTPS, jsonTPS, binTPS float64) BenchFile {
 	return BenchFile{Results: []BenchResult{
 		{Skeleton: "farm", NodeCount: 1, ThroughputTPS: localTPS},
@@ -20,6 +21,10 @@ func benchRows(localTPS, jsonTPS, binTPS float64) BenchFile {
 			Workload: workloadDispatch, ThroughputTPS: binTPS},
 		{Skeleton: "farm", NodeCount: 2, Transport: cluster.TransportBinary,
 			Workload: workloadInstr, ThroughputTPS: binTPS * 0.98},
+		{Skeleton: "farm", NodeCount: 1, Durable: true,
+			Workload: ingestWorkload(false, 16), ThroughputTPS: 1000},
+		{Skeleton: "farm", NodeCount: 1, Durable: true,
+			Workload: ingestWorkload(true, 16), ThroughputTPS: 3000},
 	}}
 }
 
@@ -59,9 +64,14 @@ func TestCompareBenchFailsWhenDispatchRowsMissing(t *testing.T) {
 		{Skeleton: "farm", NodeCount: 1, ThroughputTPS: 1000},
 	}}
 	_, failures := compareBench(current, baseline, 0.15)
-	// Both same-run checks report their rows missing.
-	if len(failures) != 2 || !strings.Contains(failures[0], "missing") || !strings.Contains(failures[1], "missing") {
+	// All three same-run checks report their rows missing.
+	if len(failures) != 3 {
 		t.Fatalf("failures = %v", failures)
+	}
+	for _, f := range failures {
+		if !strings.Contains(f, "missing") {
+			t.Fatalf("failures = %v", failures)
+		}
 	}
 }
 
@@ -79,10 +89,55 @@ func TestCompareBenchFailsWhenInstrumentationTooCostly(t *testing.T) {
 func TestCompareBenchFailsWhenInstrumentedRowMissing(t *testing.T) {
 	baseline := benchRows(1000, 2000, 3000)
 	current := benchRows(1000, 2000, 3000)
-	current.Results = current.Results[:3] // drop the instrumented row
+	// Drop only the instrumented row (index 3); the ingest pair stays.
+	current.Results = append(current.Results[:3:3], current.Results[4:]...)
 	_, failures := compareBench(current, baseline, 0.15)
 	if len(failures) != 1 || !strings.Contains(failures[0], "instrumented dispatch row missing") {
 		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareBenchFailsWhenGroupCommitLosesItsEdge(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := benchRows(1000, 2000, 3000)
+	// Group ingest at 1.5x serial: within per-row tolerance of its own
+	// baseline history would not save it — the same-run ratio gate fires.
+	baseline.Results[5].ThroughputTPS = 1500
+	current.Results[5].ThroughputTPS = 1500
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "group-commit ingest") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCompareBenchFailsWhenIngestRowsMissing(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := benchRows(1000, 2000, 3000)
+	current.Results = current.Results[:4] // drop both ingest rows
+	_, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "durable-ingest rows missing") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+// A durable-only run carries no cluster rows, so the transport and
+// instrumentation gates must not fire against it — only the per-row and
+// group-commit checks apply.
+func TestCompareBenchDurableScopeSkipsClusterGates(t *testing.T) {
+	baseline := benchRows(1000, 2000, 3000)
+	current := BenchFile{Scope: scopeDurable, Results: []BenchResult{
+		{Skeleton: "farm", NodeCount: 1, Durable: true,
+			Workload: ingestWorkload(false, 16), ThroughputTPS: 1000},
+		{Skeleton: "farm", NodeCount: 1, Durable: true,
+			Workload: ingestWorkload(true, 16), ThroughputTPS: 3000},
+	}}
+	report, failures := compareBench(current, baseline, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "group/serial durable ingest") {
+		t.Fatalf("report missing the group-commit ratio line:\n%s", joined)
 	}
 }
 

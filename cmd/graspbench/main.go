@@ -49,12 +49,13 @@ func main() {
 		jsonPath = flag.String("json", "", "bench the streaming skeletons and write machine-readable results to this path")
 		compare  = flag.String("compare", "", "baseline BENCH_*.json to gate the fresh -json run against")
 		maxRegr  = flag.Float64("max-regression", 0.15, "per-row throughput regression tolerated by -compare (fraction)")
+		durOnly  = flag.Bool("durable-only", false, "with -json: run only the durable rows (journaled farm + group/serial ingest) — CI's durable-bench step")
 		docs     = flag.Bool("write-docs", false, "run the E-matrix and regenerate EXPERIMENTS.md and DESIGN.md in the module root")
 	)
 	flag.Parse()
 
 	if *jsonPath != "" {
-		if err := runSkelBench(*jsonPath, *seed, *quiet); err != nil {
+		if err := runSkelBench(*jsonPath, *seed, *quiet, *durOnly); err != nil {
 			fmt.Fprintf(os.Stderr, "graspbench: %v\n", err)
 			os.Exit(1)
 		}

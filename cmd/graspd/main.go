@@ -120,6 +120,8 @@ func main() {
 		forecastEvery = flag.Duration("forecast-every", 0, "predictive: queue-depth forecast sampling interval (0 = 20ms)")
 		dataDir       = flag.String("data-dir", "", "durability: journal job state under this directory and recover it on restart (empty = in-memory only)")
 		maxJournal    = flag.Int64("max-journal-bytes", 0, "durability: compact the journal into a snapshot past this size (0 = 8 MiB)")
+		commitLinger  = flag.Duration("commit-linger", 0, "durability: how long the group-commit leader lingers to let a batch fill before each fsync (0 = flush immediately)")
+		commitBatch   = flag.Int("commit-max-batch", 0, "durability: max journal records coalesced under one fsync (0 = 256, 1 = serial fsync per record)")
 		drive         = flag.String("drive", "", "drive mode: hammer the daemon at this base URL instead of serving")
 		jobs          = flag.Int("jobs", 3, "drive: concurrent jobs")
 		tasks         = flag.Int("tasks", 200, "drive: tasks per job")
@@ -131,6 +133,7 @@ func main() {
 		waveSize      = flag.Int("wave-size", 0, "drive: wave cap for dmap jobs (0 = server default)")
 		placement     = flag.String("placement", "", "drive: job placement (local, cluster)")
 		profile       = flag.String("profile", "", "drive: arrival profile (steady, flash-crowd, sustained-overload)")
+		driveDurable  = flag.Bool("durable", false, "drive: target daemon journals (-data-dir); verify group-commit batches formed and report them")
 		shares        = flag.String("shares", "", "drive: comma-separated fair-share weights cycled across jobs (e.g. 1,3)")
 		logFormat     = flag.String("log-format", "text", "log output format (text, json)")
 		logLevel      = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
@@ -167,9 +170,15 @@ func main() {
 			Shares:         shareList,
 			Adapt:          *adaptPolicy,
 			Profile:        *profile,
+			Durable:        *driveDurable,
 		}.Run()
 		fmt.Printf("drove %d jobs, %d/%d tasks completed in %v (%d pushes shed)\n",
 			len(summary.Jobs), summary.Completed, summary.Tasks, summary.Elapsed.Round(time.Millisecond), summary.Shed)
+		if *driveDurable && summary.CommitBatches > 0 {
+			fmt.Printf("  group commit: %d records in %d fsync batches (%.2f records/fsync)\n",
+				summary.CommitRecords, summary.CommitBatches,
+				float64(summary.CommitRecords)/float64(summary.CommitBatches))
+		}
 		for _, j := range summary.Jobs {
 			fmt.Printf("  %-12s %-8s %5d/%5d tasks  breaches=%d recals=%d max_in_flight=%d dup=%d\n",
 				j.Name, j.Skeleton, j.Completed, j.Submitted, j.Breaches, j.Recalibrations, j.MaxInFlight, j.Duplicates)
@@ -197,6 +206,8 @@ func main() {
 		ForecastEvery:   *forecastEvery,
 		DataDir:         *dataDir,
 		MaxJournalBytes: *maxJournal,
+		CommitLinger:    *commitLinger,
+		CommitMaxBatch:  *commitBatch,
 		Logger:          logger.With("component", "service"),
 	}
 	var coord *cluster.Coordinator

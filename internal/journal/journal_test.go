@@ -75,6 +75,171 @@ func TestTornTailEveryCut(t *testing.T) {
 	}
 }
 
+// TestAppendBatchMatchesAppend proves the batch path is a pure syscall
+// optimisation: the same payloads written through AppendBatch and through
+// per-record Append must produce byte-identical files and identical Size
+// accounting.
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	dir := t.TempDir()
+	recs := payloads(12)
+
+	one := filepath.Join(dir, "one")
+	l1, _, _, err := OpenLog(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range recs {
+		if err := l1.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	size1 := l1.Size()
+	l1.Close()
+
+	batch := filepath.Join(dir, "batch")
+	l2, _, _, err := OpenLog(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the payloads across three batches (including an empty one) to
+	// cover batch boundaries.
+	for _, group := range [][][]byte{recs[:5], {}, recs[5:]} {
+		if err := l2.AppendBatch(group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Size() != size1 {
+		t.Fatalf("batch Size = %d, per-record Size = %d", l2.Size(), size1)
+	}
+	l2.Close()
+
+	b1, err := os.ReadFile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("batch file differs from per-record file (%d vs %d bytes)", len(b2), len(b1))
+	}
+}
+
+// TestAppendBatchRejectsOversize: one oversized payload anywhere in the
+// batch rejects the whole batch before any byte reaches the file.
+func TestAppendBatchRejectsOversize(t *testing.T) {
+	l, _, _, err := OpenLog(filepath.Join(t.TempDir(), "journal-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	big := make([]byte, MaxRecord+1)
+	if err := l.AppendBatch([][]byte{[]byte("ok"), big}); err == nil {
+		t.Fatal("oversize record in a batch accepted")
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size = %d after a rejected batch, want 0", l.Size())
+	}
+}
+
+// TestAppendBatchTornTailEveryCut is the crash-between-append-and-sync
+// property for the group path: a batch appended but cut at ANY byte offset
+// (what a crash before the batch's single fsync may leave behind) must
+// recover to exactly the whole frames before the cut — synced records
+// before the batch always survive, batch records are observable only as a
+// frame-aligned prefix, and the log is truncated and re-appendable.
+func TestAppendBatchTornTailEveryCut(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref")
+	l, _, _, err := OpenLog(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two synced records, then one batch of six that never gets its Sync.
+	pre := [][]byte{[]byte("synced-1"), []byte("synced-2")}
+	for _, p := range pre {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	preSize := l.Size()
+	batch := payloads(6)
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	stream, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame end offsets of the batch records within the file.
+	ends := []int{int(preSize)}
+	off := int(preSize)
+	for _, p := range batch {
+		off += headerSize + len(p)
+		ends = append(ends, off)
+	}
+	if off != len(stream) {
+		t.Fatalf("frame accounting off: %d != %d", off, len(stream))
+	}
+
+	for cut := int(preSize); cut <= len(stream); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d", cut))
+		if err := os.WriteFile(path, stream[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		whole := 0
+		for _, e := range ends[1:] {
+			if e <= cut {
+				whole++
+			}
+		}
+		l2, recs, dropped, err := OpenLog(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != len(pre)+whole {
+			t.Fatalf("cut %d: recovered %d records, want %d synced + %d whole batch frames",
+				cut, len(recs), len(pre), whole)
+		}
+		for i, p := range batch[:whole] {
+			if !bytes.Equal(recs[len(pre)+i], p) {
+				t.Fatalf("cut %d: batch record %d corrupted", cut, i)
+			}
+		}
+		wantSize := ends[whole]
+		if dropped != int64(cut-wantSize) {
+			t.Fatalf("cut %d: dropped %d bytes, want %d", cut, dropped, cut-wantSize)
+		}
+		// The truncated log must accept a fresh batch cleanly.
+		if err := l2.AppendBatch([][]byte{[]byte("after")}); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := l2.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		l2.Close()
+		_, recs2, _, err := OpenLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != len(pre)+whole+1 || string(recs2[len(recs2)-1]) != "after" {
+			t.Fatalf("cut %d: post-recovery append lost (%d records)", cut, len(recs2))
+		}
+	}
+}
+
 // TestCorruptionStopsReplay flips one byte in the middle of a stream:
 // records before the corrupted frame replay, everything after is dropped.
 func TestCorruptionStopsReplay(t *testing.T) {

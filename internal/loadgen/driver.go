@@ -7,12 +7,14 @@ package loadgen
 // targets.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -71,6 +73,12 @@ type Driver struct {
 	// profile's batching, so the same Seed replays the same byte stream
 	// under every profile.
 	Profile string
+	// Durable marks the target daemon as journaling (graspd -data-dir):
+	// after the drive the driver samples the daemon's /metrics exposition
+	// and records the group-commit batch totals in the summary, failing
+	// the run if the daemon never journaled a batch — the knob for
+	// driving the durable ingest path under the adversarial profiles.
+	Durable bool
 }
 
 // Arrival profiles for Driver.Profile.
@@ -151,6 +159,13 @@ type DriveSummary struct {
 	Shed    int
 	Elapsed time.Duration
 	Errors  []string
+	// CommitBatches and CommitRecords are the daemon's group-commit
+	// totals (the service_commit_batch_size histogram's count and sum)
+	// sampled after the run when Durable was set. CommitRecords >
+	// CommitBatches means concurrent pushes provably coalesced under
+	// shared fsyncs.
+	CommitBatches int64
+	CommitRecords int64
 }
 
 // OK reports whether every submitted task completed exactly once with no
@@ -206,7 +221,50 @@ func (d Driver) Run() DriveSummary {
 		summary.Shed += o.Shed
 	}
 	summary.Elapsed = time.Since(start)
+	if d.Durable {
+		batches, records, err := d.sampleCommitStats()
+		if err != nil {
+			fail("durable drive: %v", err)
+		} else if batches == 0 {
+			fail("durable drive: daemon journaled no commit batches (is -data-dir set?)")
+		}
+		summary.CommitBatches, summary.CommitRecords = batches, records
+	}
 	return summary
+}
+
+// sampleCommitStats scrapes the daemon's Prometheus exposition for the
+// service_commit_batch_size histogram: its count is how many fsync
+// batches the wal flushed, its sum how many records they carried.
+func (d Driver) sampleCommitStats() (batches, records int64, err error) {
+	resp, err := d.Client.Get(d.BaseURL + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, s := range []struct {
+			prefix string
+			into   *int64
+		}{
+			{"service_commit_batch_size_count ", &batches},
+			{"service_commit_batch_size_sum ", &records},
+		} {
+			if rest, ok := strings.CutPrefix(line, s.prefix); ok {
+				v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if perr != nil {
+					return 0, 0, fmt.Errorf("parsing %q: %w", line, perr)
+				}
+				*s.into = int64(v)
+			}
+		}
+	}
+	return batches, records, sc.Err()
 }
 
 // driveJob runs one job end to end.

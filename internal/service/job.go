@@ -366,9 +366,14 @@ type Job struct {
 	// node join/leave into this job (cluster placement only).
 	clusterUnsub func()
 
-	// sendMu serialises Push and CloseInput so the input channel is never
-	// closed under a blocked sender.
-	sendMu sync.Mutex
+	// sendMu guards the input channel's close against blocked senders:
+	// pushers hold the read side — the input is a native channel, so
+	// concurrent sends are safe, and concurrent pushers' journal commits
+	// coalesce into shared fsync batches instead of serialising — while
+	// CloseInput and recovery's resume hold the write side, so the channel
+	// is never closed (and the journaled backlog never re-delivered) with
+	// a push in flight.
+	sendMu sync.RWMutex
 
 	mu             sync.Mutex
 	state          string
@@ -434,8 +439,8 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // runner no longer drains the input, so a plain channel send would never
 // return.
 func (j *Job) Push(specs []TaskSpec) (int, error) {
-	j.sendMu.Lock()
-	defer j.sendMu.Unlock()
+	j.sendMu.RLock()
+	defer j.sendMu.RUnlock()
 	j.mu.Lock()
 	state := j.state
 	if state != JobAccepting && state != JobRecovering || state == JobRecovering && j.walClosed {
@@ -458,7 +463,10 @@ func (j *Job) Push(specs []TaskSpec) (int, error) {
 	j.mu.Unlock()
 	// Journal the batch before a single task becomes observable: when a
 	// durable service says "accepted", the tasks survive a crash. Recovery
-	// re-delivers exactly the journaled-but-unacknowledged remainder.
+	// re-delivers exactly the journaled-but-unacknowledged remainder. The
+	// whole HTTP batch is one walTasks record, and concurrent pushers'
+	// records group-commit under a single fsync, so durable ingest scales
+	// with pusher concurrency instead of the disk's serial fsync rate.
 	if w := j.svc.wal; w != nil {
 		if err := w.commit(walRecord{Kind: walTasks, Job: j.name, Tasks: specs}); err != nil {
 			return 0, fmt.Errorf("service: job %q: journal: %w", j.name, err)
@@ -485,7 +493,7 @@ func (j *Job) Push(specs []TaskSpec) (int, error) {
 
 // feed delivers tasks into the job's input channel — the send half of
 // Push, also used by recovery to re-deliver the journaled backlog.
-// Callers hold sendMu.
+// Callers hold sendMu (Push the read side, resume the write side).
 func (j *Job) feed(specs []TaskSpec) (int, error) {
 	accepted := 0
 	var pushErr error
@@ -741,8 +749,11 @@ func (j *Job) onResult(res platform.Result) {
 	// The acknowledgement is journaled (and fsynced) before the result
 	// becomes poller-visible: once a client's cursor moves past a result,
 	// no crash can make the service deliver that task again — the replayed
-	// pending set no longer contains it. A latched journal error does not
-	// suppress publication (live pollers keep working; new accepts fail
+	// pending set no longer contains it. Each job's coordinator commits its
+	// acks serially, but acks from different jobs — and acks racing pushes —
+	// coalesce through the wal's group commit, so a busy daemon pays one
+	// fsync for a convoy of acknowledgements. A latched journal error does
+	// not suppress publication (live pollers keep working; new accepts fail
 	// loudly instead).
 	if w := j.svc.wal; w != nil {
 		w.commit(walRecord{Kind: walResults, Job: j.name, Results: []TaskResult{tr}})

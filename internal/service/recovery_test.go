@@ -92,7 +92,7 @@ func TestRecoveryGracefulShutdownAndReopen(t *testing.T) {
 	}
 	// The flush compacts: the journal is folded into the snapshot, so the
 	// current epoch's journal holds no records.
-	w2, err := openWAL(dir, 0)
+	w2, err := openWAL(dir, walOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestRecoveryReplayDeterminism(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			dir := t.TempDir()
 			// A small cap forces several compactions through the schedule.
-			w, err := openWAL(dir, 4096)
+			w, err := openWAL(dir, walOptions{maxBytes: 4096})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -343,7 +343,7 @@ func TestRecoveryReplayDeterminism(t *testing.T) {
 			live := w.mirror()
 			w.close() // includes a final compaction; replay must still agree
 
-			replayed, err := openWAL(dir, 4096)
+			replayed, err := openWAL(dir, walOptions{maxBytes: 4096})
 			if err != nil {
 				t.Fatal(err)
 			}

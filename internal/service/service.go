@@ -27,6 +27,17 @@
 // memberships, its register-time benchmark sample becoming its initial
 // dispatch weight.
 //
+// With a DataDir configured the service is crash-recoverable: every
+// externally visible mutation commits to a write-ahead journal before its
+// effects are observable. The commit path is a group-commit wal —
+// concurrent committers coalesce into bounded batches, each appended
+// through one write syscall and covered by one fsync, with the leader
+// delivering the shared result to every member — so durable ingest
+// throughput scales with request concurrency instead of the disk's
+// serial fsync rate, under the unchanged contract that a nil commit
+// means the record is fsynced and storage errors latch the wal
+// fail-stop.
+//
 // The service runs only on the real runtime (rt.Local): it exists to serve
 // actual traffic, while the simulator remains the domain of the experiment
 // harness.
@@ -93,6 +104,16 @@ type Config struct {
 	// MaxJournalBytes triggers snapshot compaction once the journal outgrows
 	// it (default 8MB).
 	MaxJournalBytes int64
+	// CommitLinger is how long the group-commit leader waits for more
+	// committers to join each batch before flushing (default 0 — flush
+	// immediately; a batch still coalesces everything that queued while the
+	// previous fsync was in flight). A small linger trades single-commit
+	// latency for fewer fsyncs under light concurrency.
+	CommitLinger time.Duration
+	// CommitMaxBatch caps how many journal records one group-commit flush
+	// coalesces into a single write + fsync (default 256). 1 reproduces the
+	// serial one-fsync-per-record discipline — the benchmark baseline mode.
+	CommitMaxBatch int
 	// Logger receives job lifecycle events as structured records carrying
 	// per-job fields (default: discard).
 	Logger *slog.Logger
@@ -245,11 +266,17 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.DataDir == "" {
 		return s, nil
 	}
-	w, err := openWAL(cfg.DataDir, cfg.MaxJournalBytes)
+	w, err := openWAL(cfg.DataDir, walOptions{
+		maxBytes: cfg.MaxJournalBytes,
+		linger:   cfg.CommitLinger,
+		maxBatch: cfg.CommitMaxBatch,
+	})
 	if err != nil {
 		return nil, err
 	}
 	w.hFsync = s.reg.Histogram("service_journal_fsync_seconds", metrics.DefDurationBuckets)
+	w.hBatch = s.reg.Histogram("service_commit_batch_size", metrics.BatchBuckets)
+	w.log = cfg.Logger
 	s.wal = w
 	// The coordinator's token ceilings must be restored before it serves
 	// any cluster traffic: a gen or dispatch id minted below the pre-crash

@@ -1,0 +1,299 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"grasp/internal/journal"
+)
+
+// errDiskGone is the injected storage failure the latched-error tests
+// assert on: every committer must surface exactly this error.
+var errDiskGone = errors.New("injected: disk gone")
+
+// failingStore wraps a real journal.Store and starts failing Sync after
+// syncsLeft successful ones — the appends land in the file, the fsync
+// covering them reports failure, which is precisely the
+// crash-between-append-and-sync window for a group.
+type failingStore struct {
+	*journal.Store
+	mu        sync.Mutex
+	syncsLeft int
+}
+
+func (f *failingStore) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.syncsLeft <= 0 {
+		return errDiskGone
+	}
+	f.syncsLeft--
+	return f.Store.Sync()
+}
+
+// gatedStore wraps a real journal.Store, counts batches and records, and
+// blocks its first Sync until the test releases the gate — pinning the
+// flush leader mid-fsync so a convoy of followers provably queues behind
+// one flush round.
+type gatedStore struct {
+	*journal.Store
+	mu      sync.Mutex
+	syncs   int
+	records int
+	gate    chan struct{}
+}
+
+func (g *gatedStore) AppendBatch(p [][]byte) error {
+	g.mu.Lock()
+	g.records += len(p)
+	g.mu.Unlock()
+	return g.Store.AppendBatch(p)
+}
+
+func (g *gatedStore) Sync() error {
+	g.mu.Lock()
+	g.syncs++
+	first := g.syncs == 1
+	g.mu.Unlock()
+	if first {
+		<-g.gate
+	}
+	return g.Store.Sync()
+}
+
+// walOverStore opens a real store in dir and hands it to the caller to
+// wrap before the wal is built over it.
+func walOverStore(t *testing.T, dir string) *journal.Store {
+	t.Helper()
+	store, rec, err := journal.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("expected a fresh store, replayed %+v", rec)
+	}
+	return store
+}
+
+// TestRecoveryGroupCommitCoalesces pins the flush leader inside its fsync
+// and piles 31 followers behind it: the whole convoy must drain in
+// exactly one more flush — 32 records, 2 batches, 2 fsyncs — and a
+// replay over the same directory must agree with the live mirror record
+// for record. This is the "fsyncs per record < 1" property made
+// deterministic.
+func TestRecoveryGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	gs := &gatedStore{Store: walOverStore(t, dir), gate: make(chan struct{})}
+	w := newWAL(gs, walOptions{})
+
+	const followers = 31
+	var wg sync.WaitGroup
+	errs := make([]error, followers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = w.commit(walRecord{Kind: walCreate, Job: "g", Spec: &JobSpec{}})
+	}()
+	// The leader is mid-fsync once the gated Sync has been entered; every
+	// commit from here on must join the queue rather than reach the store.
+	waitUntil(t, 5*time.Second, "leader pinned in fsync", func() bool {
+		gs.mu.Lock()
+		defer gs.mu.Unlock()
+		return gs.syncs == 1
+	})
+	for i := 0; i < followers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i+1] = w.commit(walRecord{Kind: walTasks, Job: "g", Tasks: []TaskSpec{{ID: i, Cost: 1}}})
+		}()
+	}
+	waitUntil(t, 5*time.Second, "followers queued", func() bool {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return len(w.queue) == followers
+	})
+	close(gs.gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	gs.mu.Lock()
+	syncs, records := gs.syncs, gs.records
+	gs.mu.Unlock()
+	if records != followers+1 {
+		t.Fatalf("store absorbed %d records, want %d", records, followers+1)
+	}
+	if syncs != 2 {
+		t.Fatalf("convoy took %d fsyncs, want exactly 2 (leader + one group)", syncs)
+	}
+
+	live := w.mirror()
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := openWAL(dir, walOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.close()
+	if got := replayed.mirror(); !bytes.Equal(got, live) {
+		t.Fatalf("replay diverges from live mirror:\nlive:     %s\nreplayed: %s", live, got)
+	}
+	pending, _ := replayed.jobPending("g")
+	if len(pending) != followers {
+		t.Fatalf("replayed %d pending tasks, want %d", len(pending), followers)
+	}
+}
+
+// TestRecoveryLatchedErrorConcurrent drives N goroutines through one
+// failing store: the first batch whose fsync fails latches the wal, every
+// committer — batched with the failure, queued behind it, or arriving
+// after — must observe that same error, and the mirror must never diverge
+// from what is actually in the journal (the failed group's appends landed
+// in the file; its fsync did not, so none of its members were
+// acknowledged).
+func TestRecoveryLatchedErrorConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	fs := &failingStore{Store: walOverStore(t, dir), syncsLeft: 1}
+	w := newWAL(fs, walOptions{})
+
+	// One durable record before the disk "fails", so replay has a prefix.
+	if err := w.commit(walRecord{Kind: walCreate, Job: "latch", Spec: &JobSpec{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.commit(walRecord{Kind: walTasks, Job: "latch", Tasks: []TaskSpec{{ID: i, Cost: 1}}})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, errDiskGone) {
+			t.Fatalf("commit %d returned %v, want the latched %v", i, err, errDiskGone)
+		}
+	}
+	// The latch is permanent: a late committer gets the same error without
+	// the store seeing another byte.
+	if err := w.commit(walRecord{Kind: walClose, Job: "latch"}); !errors.Is(err, errDiskGone) {
+		t.Fatalf("post-latch commit returned %v, want %v", err, errDiskGone)
+	}
+
+	// Fail-stop kept mirror and journal in agreement: every record the
+	// mirror applied was appended before the failing fsync, so a replay of
+	// the directory reconstructs the live mirror exactly — and none of the
+	// failed commits were acknowledged, so nothing beyond the journal was
+	// ever promised.
+	live := w.mirror()
+	// close skips the final snapshot on a latched wal (rotating would need
+	// a working disk); it only releases the store.
+	if err := w.close(); err != nil {
+		t.Fatalf("close after latch: %v", err)
+	}
+	replayed, err := openWAL(dir, walOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.close()
+	if got := replayed.mirror(); !bytes.Equal(got, live) {
+		t.Fatalf("mirror diverged from journal after latched error:\nlive:     %s\nreplayed: %s", live, got)
+	}
+}
+
+// TestRecoveryReplayDeterminismConcurrent is the replay-determinism
+// property under the group path: many goroutines commit interleaved
+// random schedules concurrently, so records coalesce into multi-record
+// batches in nondeterministic orders — yet whatever order the leader
+// journals must be exactly the order the mirror applied, and a fresh wal
+// over the same directory must reconstruct a byte-identical state.
+func TestRecoveryReplayDeterminismConcurrent(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			// A small cap forces compactions mid-convoy; a tiny linger widens
+			// the batches.
+			w, err := openWAL(dir, walOptions{maxBytes: 4096, linger: 100 * time.Microsecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := JobSpec{}.withDefaults(Config{}.withDefaults())
+			spec.MaxResults = 8
+			const committers = 8
+			var wg sync.WaitGroup
+			for g := 0; g < committers; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed*100 + int64(g)))
+					name := fmt.Sprintf("job-%d", g)
+					if err := w.commit(walRecord{Kind: walCreate, Job: name, Spec: &spec}); err != nil {
+						t.Error(err)
+						return
+					}
+					for step := 0; step < 40; step++ {
+						var rec walRecord
+						switch rng.Intn(6) {
+						case 0, 1, 2:
+							rec = walRecord{Kind: walTasks, Job: name, Tasks: []TaskSpec{{ID: g*1000 + step, Cost: 1}}}
+						case 3, 4:
+							rec = walRecord{Kind: walResults, Job: name, Results: []TaskResult{
+								{ID: g*1000 + rng.Intn(step+1), Worker: rng.Intn(4), Micros: int64(rng.Intn(1000))},
+							}}
+						case 5:
+							rec = walRecord{Kind: walClose, Job: name}
+						}
+						if err := w.commit(rec); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			live := w.mirror()
+			w.close()
+
+			replayed, err := openWAL(dir, walOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer replayed.close()
+			if got := replayed.mirror(); !bytes.Equal(got, live) {
+				t.Fatalf("concurrent replay diverges:\nlive:     %s\nreplayed: %s", live, got)
+			}
+		})
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,7 +1,9 @@
 // Adversarial end-to-end scenarios against a real graspd + graspworker
 // topology: a flash crowd that must be shed gracefully (HTTP 429 +
-// Retry-After, every admitted task exactly once, no stalls) and a scripted
-// slow-node degradation that the predictive policy must observe through
+// Retry-After, every admitted task exactly once, no stalls), the same
+// flash crowd against a journaling daemon whose group-commit wal must
+// provably coalesce the concurrent pushes, and a scripted slow-node
+// degradation that the predictive policy must observe through
 // completion times alone, surfacing per-worker forecasts in the job
 // status. These are the overload counterparts of cluster_e2e_test.go's
 // fault-injection scenarios, and they reuse its process harness.
@@ -10,6 +12,7 @@ package grasp_test
 import (
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -148,6 +151,71 @@ func TestScenarioE2EFlashCrowd(t *testing.T) {
 	}
 	if st.State != "done" {
 		t.Errorf("job state = %q after a clean drive, want done", st.State)
+	}
+}
+
+// TestScenarioE2EDurableFlashCrowd re-runs the flash crowd against a
+// journaling daemon: every admitted push crosses the group-commit wal
+// before it is acknowledged, so admission control, exactly-once delivery
+// and durable ingest are exercised together through real processes. The
+// drive runs with Durable set, so the loadgen driver itself scrapes the
+// daemon's commit-batch histogram after the run — more records than
+// fsync batches proves concurrent pushes and acks coalesced under
+// shared fsyncs rather than each paying a serial fsync.
+func TestScenarioE2EDurableFlashCrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process scenario suite skipped in -short mode (CI runs it in its own job)")
+	}
+	graspd, graspworker := buildE2EBinaries(t)
+	api, coordinator, _ := startScenarioDaemon(t, graspd,
+		"-window", "4", "-shed-factor", "1", "-dead-after", "2s",
+		"-data-dir", t.TempDir(), "-commit-linger", "200us")
+	startScenarioWorkers(t, graspworker, coordinator, api, 2, nil)
+
+	summary := loadgen.Driver{
+		BaseURL:     api,
+		Jobs:        2,
+		TasksPerJob: 60,
+		Batch:       6,
+		SleepUS:     20_000,
+		PollEvery:   10 * time.Millisecond,
+		Window:      4,
+		Timeout:     90 * time.Second,
+		Seed:        11,
+		JobPrefix:   "dflash",
+		Placement:   "cluster",
+		Adapt:       "predictive",
+		Profile:     loadgen.ProfileFlashCrowd,
+		Durable:     true,
+	}.Run()
+
+	if !summary.OK() {
+		t.Errorf("durable flash-crowd drive not clean: %d/%d tasks, errors %v",
+			summary.Completed, summary.Tasks, summary.Errors)
+	}
+	if summary.Shed == 0 {
+		t.Error("durable flash crowd was never shed: want at least one 429'd push")
+	}
+	for _, out := range summary.Jobs {
+		if out.Duplicates != 0 {
+			t.Errorf("job %s saw %d duplicate results, want 0", out.Name, out.Duplicates)
+		}
+	}
+	if summary.CommitBatches == 0 {
+		t.Fatal("driver sampled no commit batches from a journaling daemon")
+	}
+	if summary.CommitRecords <= summary.CommitBatches {
+		t.Errorf("group commit never coalesced: %d records in %d fsync batches",
+			summary.CommitRecords, summary.CommitBatches)
+	}
+	// The exposition must declare the batch-size histogram properly, not
+	// just leak series the driver happened to parse.
+	code, body := httpBody(t, api+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	if !strings.Contains(body, "# TYPE service_commit_batch_size histogram") {
+		t.Errorf("exposition missing the commit-batch histogram family:\n%s", body)
 	}
 }
 
